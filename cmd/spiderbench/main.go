@@ -1,0 +1,76 @@
+// Command spiderbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	spiderbench -exp table4                # one experiment, paper defaults
+//	spiderbench -exp all -scale 0.5        # full suite at half scale
+//	spiderbench -exp fig14 -csv            # machine-readable output
+//	spiderbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"spidercache"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale  = flag.Float64("scale", 1.0, "dataset size multiplier")
+		epochs = flag.Int("epochs", 0, "override each experiment's default epoch count (0 = defaults)")
+		seed   = flag.Uint64("seed", 42, "random seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of tables")
+		outDir = flag.String("out", "", "also write each experiment's CSV to <dir>/<id>.csv")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(spidercache.Experiments(), "\n"))
+		return
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal("", err)
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = spidercache.Experiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := spidercache.GetExperiment(id, *scale, *epochs, *seed)
+		if err != nil {
+			fatal(id, err)
+		}
+		if *csv {
+			fmt.Print(rep.CSV())
+		} else {
+			fmt.Print(rep.Text())
+			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, rep.ID()+".csv")
+			if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
+				fatal(id, err)
+			}
+		}
+	}
+}
+
+func fatal(id string, err error) {
+	if id != "" {
+		fmt.Fprintf(os.Stderr, "spiderbench: %s: %v\n", id, err)
+	} else {
+		fmt.Fprintf(os.Stderr, "spiderbench: %v\n", err)
+	}
+	os.Exit(1)
+}

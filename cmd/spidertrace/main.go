@@ -1,0 +1,124 @@
+// Command spidertrace records and analyses cache-request traces.
+//
+// Record a trace by running a training configuration with a recording
+// policy, then summarise it (or summarise an existing trace file):
+//
+//	spidertrace -record trace.csv -policy spider -epochs 10 -scale 0.5
+//	spidertrace -analyze trace.csv
+//
+// The summary reports hit/miss/substitute counts, reuse-distance statistics
+// (what LRU-style policies depend on) and sampling skew (what importance-
+// driven policies create and exploit).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spidercache/internal/dataset"
+	"spidercache/internal/experiments"
+	"spidercache/internal/metrics"
+	"spidercache/internal/nn"
+	"spidercache/internal/trace"
+	"spidercache/internal/trainer"
+)
+
+func main() {
+	var (
+		record  = flag.String("record", "", "train and write the request trace to this CSV file")
+		analyze = flag.String("analyze", "", "summarise an existing trace CSV")
+		polName = flag.String("policy", "spider", "policy to trace when recording")
+		dsName  = flag.String("dataset", "cifar10", "dataset preset when recording")
+		epochs  = flag.Int("epochs", 10, "epochs when recording")
+		scale   = flag.Float64("scale", 0.5, "dataset scale when recording")
+		cacheF  = flag.Float64("cache", 0.2, "cache fraction when recording")
+		seed    = flag.Uint64("seed", 42, "seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		if err := doRecord(*record, *polName, *dsName, *epochs, *scale, *cacheF, *seed); err != nil {
+			fatal(err)
+		}
+	case *analyze != "":
+		if err := doAnalyze(*analyze); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "spidertrace: pass -record <file> or -analyze <file>")
+		os.Exit(2)
+	}
+}
+
+func doRecord(path, polName, dsName string, epochs int, scale, cacheF float64, seed uint64) error {
+	var cfg dataset.Config
+	switch dsName {
+	case "cifar10":
+		cfg = dataset.CIFAR10Like(scale, seed)
+	case "cifar100":
+		cfg = dataset.CIFAR100Like(scale, seed)
+	case "imagenet":
+		cfg = dataset.ImageNetLike(scale, seed)
+	default:
+		return fmt.Errorf("unknown dataset %q", dsName)
+	}
+	ds, err := dataset.New(cfg)
+	if err != nil {
+		return err
+	}
+	inner, err := experiments.BuildPolicy(polName, experiments.PolicyParams{
+		Dataset:  ds,
+		Capacity: int(float64(ds.Len()) * cacheF),
+		Epochs:   epochs,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	rec, tr := trace.NewRecorder(inner)
+	res, err := trainer.Run(trainer.Config{
+		Dataset: ds, Model: nn.ResNet18, Epochs: epochs,
+		BatchSize: 64, Workers: 1, PipelineIS: true, Seed: seed,
+	}, rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d events from %s on %s (hit %.1f%%) to %s\n",
+		tr.Len(), res.Policy, res.Dataset, res.AvgHitRatio()*100, path)
+	fmt.Println()
+	fmt.Print(trace.Analyze(tr).Render())
+	return nil
+}
+
+func doAnalyze(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	fmt.Print(trace.Analyze(tr).Render())
+	ratios := trace.PerEpochHitRatios(tr)
+	series := metrics.Series{Name: "hit", Points: ratios}
+	fmt.Println()
+	fmt.Print(metrics.RenderSeries("per-epoch hit ratio", "epoch", nil, series))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spidertrace:", err)
+	os.Exit(1)
+}

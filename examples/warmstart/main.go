@@ -1,0 +1,71 @@
+// Warm start: reuse the global importance scores learned by one SpiderCache
+// run to bootstrap another run on the same dataset — e.g. a hyper-parameter
+// retry — so the cache and sampler are effective from epoch 1 instead of
+// re-learning sample importance from scratch.
+//
+// This example uses the internal extension surface (internal/core), the
+// intended home for features developed inside this module.
+//
+//	go run ./examples/warmstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spidercache/internal/core"
+	"spidercache/internal/dataset"
+	"spidercache/internal/elastic"
+	"spidercache/internal/nn"
+	"spidercache/internal/trainer"
+)
+
+func main() {
+	ds, err := dataset.New(dataset.CIFAR10Like(0.5, 42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const epochs = 8
+	capacity := ds.Len() / 5
+
+	build := func(seed uint64) *core.SpiderCache {
+		pol, err := core.New(core.Options{
+			Capacity:    capacity,
+			Labels:      ds.Labels,
+			Payloads:    ds.Payload,
+			Elastic:     elastic.DefaultConfig(epochs),
+			TotalEpochs: epochs,
+			Seed:        seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return pol
+	}
+	run := func(pol *core.SpiderCache, label string) *trainer.Result {
+		res, err := trainer.Run(trainer.Config{
+			Dataset: ds, Model: nn.ResNet18, Epochs: epochs,
+			BatchSize: 64, Workers: 1, PipelineIS: true, Seed: 42,
+		}, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s first-epoch hit=%5.1f%%  avg hit=%5.1f%%  bestAcc=%.1f%%\n",
+			label, res.Epochs[0].HitRatio()*100, res.AvgHitRatio()*100, res.BestAcc*100)
+		return res
+	}
+
+	// Cold run: importance is learned online.
+	cold := build(42)
+	run(cold, "cold")
+
+	// Warm run: seeded with the cold run's final score table.
+	warm := build(43)
+	if err := warm.ImportScores(cold.ExportScores()); err != nil {
+		log.Fatal(err)
+	}
+	run(warm, "warm-start")
+
+	fmt.Println("\nwarm starts lift the early-epoch hit ratio: the sampler and cache")
+	fmt.Println("already know which samples matter before the first batch is seen")
+}

@@ -1,0 +1,3 @@
+module spidercache
+
+go 1.24

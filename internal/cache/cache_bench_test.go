@@ -1,0 +1,70 @@
+package cache
+
+import (
+	"testing"
+
+	"spidercache/internal/xrand"
+)
+
+const benchCap = 1000
+
+func BenchmarkLRUPutGet(b *testing.B) {
+	c := NewLRU(benchCap)
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := rng.Intn(benchCap * 4)
+		if _, ok := c.Get(id); !ok {
+			c.Put(Item{ID: id})
+		}
+	}
+}
+
+func BenchmarkLFUPutGet(b *testing.B) {
+	c := NewLFU(benchCap)
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := rng.Intn(benchCap * 4)
+		if _, ok := c.Get(id); !ok {
+			c.Put(Item{ID: id})
+		}
+	}
+}
+
+func BenchmarkImportancePut(b *testing.B) {
+	c := NewImportance(benchCap)
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(Item{ID: rng.Intn(benchCap * 4)}, rng.Float64())
+	}
+}
+
+func BenchmarkImportanceUpdateScore(b *testing.B) {
+	c := NewImportance(benchCap)
+	for i := 0; i < benchCap; i++ {
+		c.Put(Item{ID: i}, float64(i))
+	}
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.UpdateScore(rng.Intn(benchCap), rng.Float64())
+	}
+}
+
+func BenchmarkHomophilyLookupNeighbor(b *testing.B) {
+	c := NewHomophily(200)
+	rng := xrand.New(1)
+	for i := 0; i < 200; i++ {
+		nbs := make([]int, 8)
+		for j := range nbs {
+			nbs[j] = rng.Intn(4000)
+		}
+		c.Put(Item{ID: 10000 + i}, nbs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.LookupNeighbor(rng.Intn(4000))
+	}
+}

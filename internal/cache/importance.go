@@ -1,0 +1,157 @@
+package cache
+
+// Importance is the score-driven cache of the paper's Section 4.2: a
+// min-heap keyed by importance score evicts the least important resident
+// sample when a more important one arrives. SHADE's cache, iCache's H-sample
+// region and SpiderCache's Importance Cache are all instances of it.
+type Importance struct {
+	capacity int
+	entries  map[int]*impEntry
+	heap     []*impEntry
+}
+
+type impEntry struct {
+	item  Item
+	score float64
+	pos   int
+}
+
+// NewImportance returns an empty importance cache holding up to capacity
+// items.
+func NewImportance(capacity int) *Importance {
+	checkCap(capacity)
+	return &Importance{capacity: capacity, entries: make(map[int]*impEntry, capacity)}
+}
+
+// Get reports whether id is cached.
+func (c *Importance) Get(id int) (Item, bool) {
+	e, ok := c.entries[id]
+	if !ok {
+		return Item{}, false
+	}
+	return e.item, true
+}
+
+// MinScore returns the score at the heap top (the eviction candidate) and
+// whether the cache is non-empty. Case 2 of the paper's walkthrough: an
+// arriving sample scoring below MinScore does not displace anything.
+func (c *Importance) MinScore() (float64, bool) {
+	if len(c.heap) == 0 {
+		return 0, false
+	}
+	return c.heap[0].score, true
+}
+
+// Put offers item with the given importance score. While free space remains
+// the item is admitted unconditionally; once full it displaces the minimum
+// only when score exceeds it (Case 4 of the paper's walkthrough). It reports
+// whether the item is resident afterwards.
+func (c *Importance) Put(item Item, score float64) bool {
+	if c.capacity == 0 {
+		return false
+	}
+	if e, ok := c.entries[item.ID]; ok {
+		e.item = item
+		c.updateAt(e, score)
+		return true
+	}
+	if len(c.entries) >= c.capacity {
+		if c.heap[0].score >= score {
+			return false
+		}
+		victim := c.heap[0]
+		c.removeAt(0)
+		delete(c.entries, victim.item.ID)
+	}
+	e := &impEntry{item: item, score: score, pos: len(c.heap)}
+	c.entries[item.ID] = e
+	c.heap = append(c.heap, e)
+	c.siftUp(e.pos)
+	return true
+}
+
+// UpdateScore adjusts the score of a resident item (scores drift as the
+// graph-based IS re-evaluates samples). It reports whether id was resident.
+func (c *Importance) UpdateScore(id int, score float64) bool {
+	e, ok := c.entries[id]
+	if !ok {
+		return false
+	}
+	c.updateAt(e, score)
+	return true
+}
+
+// Resize changes the capacity. Shrinking evicts the lowest-score entries
+// until the new capacity is met; growing takes effect immediately. This is
+// how the Elastic Cache Manager moves space between cache sections.
+func (c *Importance) Resize(capacity int) {
+	checkCap(capacity)
+	c.capacity = capacity
+	for len(c.entries) > capacity {
+		victim := c.heap[0]
+		c.removeAt(0)
+		delete(c.entries, victim.item.ID)
+	}
+}
+
+// Len returns the number of cached items.
+func (c *Importance) Len() int { return len(c.entries) }
+
+// Cap returns the item capacity.
+func (c *Importance) Cap() int { return c.capacity }
+
+func (c *Importance) updateAt(e *impEntry, score float64) {
+	old := e.score
+	e.score = score
+	if score < old {
+		c.siftUp(e.pos)
+	} else {
+		c.siftDown(e.pos)
+	}
+}
+
+func (c *Importance) swap(i, j int) {
+	c.heap[i], c.heap[j] = c.heap[j], c.heap[i]
+	c.heap[i].pos = i
+	c.heap[j].pos = j
+}
+
+func (c *Importance) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if c.heap[parent].score <= c.heap[i].score {
+			return
+		}
+		c.swap(i, parent)
+		i = parent
+	}
+}
+
+func (c *Importance) siftDown(i int) {
+	n := len(c.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && c.heap[l].score < c.heap[small].score {
+			small = l
+		}
+		if r < n && c.heap[r].score < c.heap[small].score {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		c.swap(i, small)
+		i = small
+	}
+}
+
+func (c *Importance) removeAt(i int) {
+	last := len(c.heap) - 1
+	c.swap(i, last)
+	c.heap = c.heap[:last]
+	if i < last {
+		c.siftDown(i)
+		c.siftUp(i)
+	}
+}

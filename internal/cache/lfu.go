@@ -1,0 +1,120 @@
+package cache
+
+// LFU is a least-frequently-used cache. Frequency counts persist only while
+// an item is resident (as in the classic in-memory LFU the paper benchmarks
+// in Fig 3b). Ties are broken by least-recent insertion using a
+// monotonically increasing sequence number.
+type LFU struct {
+	capacity int
+	entries  map[int]*lfuEntry
+	heap     []*lfuEntry // min-heap on (freq, seq)
+	seq      uint64
+}
+
+type lfuEntry struct {
+	item Item
+	freq int
+	seq  uint64
+	pos  int // heap index
+}
+
+// NewLFU returns an empty LFU cache holding up to capacity items.
+func NewLFU(capacity int) *LFU {
+	checkCap(capacity)
+	return &LFU{capacity: capacity, entries: make(map[int]*lfuEntry, capacity)}
+}
+
+// Get reports whether id is cached, incrementing its frequency on a hit.
+func (c *LFU) Get(id int) (Item, bool) {
+	e, ok := c.entries[id]
+	if !ok {
+		return Item{}, false
+	}
+	e.freq++
+	c.siftDown(e.pos)
+	return e.item, true
+}
+
+// Put admits item, evicting the least frequently used entry when full.
+func (c *LFU) Put(item Item) bool {
+	if c.capacity == 0 {
+		return false
+	}
+	if e, ok := c.entries[item.ID]; ok {
+		e.item = item
+		e.freq++
+		c.siftDown(e.pos)
+		return true
+	}
+	if len(c.entries) >= c.capacity {
+		victim := c.heap[0]
+		c.removeAt(0)
+		delete(c.entries, victim.item.ID)
+	}
+	c.seq++
+	e := &lfuEntry{item: item, freq: 1, seq: c.seq, pos: len(c.heap)}
+	c.entries[item.ID] = e
+	c.heap = append(c.heap, e)
+	c.siftUp(e.pos)
+	return true
+}
+
+// Len returns the number of cached items.
+func (c *LFU) Len() int { return len(c.entries) }
+
+// Cap returns the item capacity.
+func (c *LFU) Cap() int { return c.capacity }
+
+func (c *LFU) less(i, j int) bool {
+	a, b := c.heap[i], c.heap[j]
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	return a.seq < b.seq
+}
+
+func (c *LFU) swap(i, j int) {
+	c.heap[i], c.heap[j] = c.heap[j], c.heap[i]
+	c.heap[i].pos = i
+	c.heap[j].pos = j
+}
+
+func (c *LFU) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.less(i, parent) {
+			return
+		}
+		c.swap(i, parent)
+		i = parent
+	}
+}
+
+func (c *LFU) siftDown(i int) {
+	n := len(c.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && c.less(l, small) {
+			small = l
+		}
+		if r < n && c.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		c.swap(i, small)
+		i = small
+	}
+}
+
+func (c *LFU) removeAt(i int) {
+	last := len(c.heap) - 1
+	c.swap(i, last)
+	c.heap = c.heap[:last]
+	if i < last {
+		c.siftDown(i)
+		c.siftUp(i)
+	}
+}

@@ -1,0 +1,138 @@
+// Package cluster provides a consistent-hash shard ring for spreading a
+// sample cache across multiple workers — the deployment shape of the
+// cluster-wide caches (Quiver, Hoard, FanStore) the paper's related-work
+// section positions SpiderCache against, and the natural way to scale its
+// memory tier beyond one node.
+//
+// Keys are sample IDs; nodes are placed on the ring with multiple virtual
+// points so load stays balanced, and removing a node only remaps the keys it
+// owned (the consistent-hashing property the tests pin down).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent-hash ring. It is safe for concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []ringPoint // sorted by hash
+	nodes    map[string]struct{}
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing creates a ring placing each node at `replicas` virtual points
+// (typical values 64-512; higher = smoother balance, larger ring).
+func NewRing(replicas int) (*Ring, error) {
+	if replicas < 1 {
+		return nil, fmt.Errorf("cluster: replicas must be >= 1, got %d", replicas)
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]struct{})}, nil
+}
+
+// hash64 is FNV-1a over the string, mixed through SplitMix64's finaliser for
+// better ring dispersion.
+func hash64(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// Add places node on the ring; re-adding is a no-op.
+func (r *Ring) Add(node string) error {
+	if node == "" {
+		return fmt.Errorf("cluster: empty node name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; ok {
+		return nil
+	}
+	r.nodes[node] = struct{}{}
+	for v := 0; v < r.replicas; v++ {
+		r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", node, v)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return nil
+}
+
+// Remove takes node off the ring; removing an absent node is a no-op.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Nodes returns the current node set (sorted).
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the node owning sample id, or "" when the ring is empty.
+func (r *Ring) Owner(id int) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(fmt.Sprintf("sample:%d", id))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Owners returns the distinct nodes owning the first `n` replicas-worth of
+// successors for id — used for replicated placement. Fewer than n nodes are
+// returned when the ring is smaller than n.
+func (r *Ring) Owners(id, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	h := hash64(fmt.Sprintf("sample:%d", id))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]struct{}, n)
+	out := make([]string, 0, n)
+	for steps := 0; steps < len(r.points) && len(out) < n; steps++ {
+		p := r.points[(i+steps)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}

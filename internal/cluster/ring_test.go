@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringWith(t *testing.T, nodes ...string) *Ring {
+	t.Helper()
+	r, err := NewRing(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if err := r.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+	r, _ := NewRing(4)
+	if err := r.Add(""); err == nil {
+		t.Fatal("empty node accepted")
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r, _ := NewRing(8)
+	if got := r.Owner(1); got != "" {
+		t.Fatalf("empty ring owner %q", got)
+	}
+	if got := r.Owners(1, 2); got != nil {
+		t.Fatalf("empty ring owners %v", got)
+	}
+}
+
+func TestOwnerDeterministic(t *testing.T) {
+	a := ringWith(t, "w1", "w2", "w3")
+	b := ringWith(t, "w3", "w1", "w2") // insertion order must not matter
+	for id := 0; id < 500; id++ {
+		if a.Owner(id) != b.Owner(id) {
+			t.Fatalf("id %d: %s vs %s", id, a.Owner(id), b.Owner(id))
+		}
+	}
+}
+
+func TestBalance(t *testing.T) {
+	r := ringWith(t, "w1", "w2", "w3", "w4")
+	counts := map[string]int{}
+	const keys = 20000
+	for id := 0; id < keys; id++ {
+		counts[r.Owner(id)]++
+	}
+	want := keys / 4
+	for node, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("node %s owns %d keys, want ~%d", node, c, want)
+		}
+	}
+}
+
+func TestConsistencyOnRemoval(t *testing.T) {
+	r := ringWith(t, "w1", "w2", "w3", "w4")
+	before := make([]string, 10000)
+	for id := range before {
+		before[id] = r.Owner(id)
+	}
+	r.Remove("w3")
+	moved := 0
+	for id, prev := range before {
+		now := r.Owner(id)
+		if now == "w3" {
+			t.Fatalf("removed node still owns id %d", id)
+		}
+		if prev != "w3" && now != prev {
+			moved++
+		}
+	}
+	// Consistent hashing: only keys owned by the removed node remap.
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving nodes", moved)
+	}
+}
+
+func TestConsistencyOnAddition(t *testing.T) {
+	r := ringWith(t, "w1", "w2", "w3")
+	before := make([]string, 10000)
+	for id := range before {
+		before[id] = r.Owner(id)
+	}
+	r.Add("w4")
+	movedToNew, movedBetweenOld := 0, 0
+	for id, prev := range before {
+		now := r.Owner(id)
+		if now == prev {
+			continue
+		}
+		if now == "w4" {
+			movedToNew++
+		} else {
+			movedBetweenOld++
+		}
+	}
+	if movedBetweenOld != 0 {
+		t.Fatalf("%d keys moved between pre-existing nodes", movedBetweenOld)
+	}
+	// The new node should take roughly a quarter of the keys.
+	if movedToNew < len(before)/8 || movedToNew > len(before)/2 {
+		t.Fatalf("new node took %d/%d keys", movedToNew, len(before))
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	r := ringWith(t, "w1")
+	if err := r.Add("w1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.Nodes()); got != 1 {
+		t.Fatalf("nodes %d", got)
+	}
+	r.Remove("absent") // no-op
+}
+
+func TestOwnersReplication(t *testing.T) {
+	r := ringWith(t, "w1", "w2", "w3")
+	for id := 0; id < 200; id++ {
+		owners := r.Owners(id, 2)
+		if len(owners) != 2 {
+			t.Fatalf("id %d: owners %v", id, owners)
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("id %d: duplicate owners %v", id, owners)
+		}
+		if owners[0] != r.Owner(id) {
+			t.Fatalf("id %d: primary mismatch %v vs %s", id, owners, r.Owner(id))
+		}
+	}
+	// Requesting more replicas than nodes returns every node once.
+	if got := r.Owners(7, 10); len(got) != 3 {
+		t.Fatalf("over-replication returned %v", got)
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	r := ringWith(t, "b", "a", "c")
+	got := r.Nodes()
+	if fmt.Sprint(got) != "[a b c]" {
+		t.Fatalf("Nodes() = %v", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := ringWith(t, "w1", "w2")
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			r.Add(fmt.Sprintf("extra%d", i%8))
+			r.Remove(fmt.Sprintf("extra%d", (i+4)%8))
+		}
+		close(done)
+	}()
+	for i := 0; i < 5000; i++ {
+		r.Owner(i)
+		r.Owners(i, 2)
+	}
+	<-done
+}

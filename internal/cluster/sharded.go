@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"spidercache/internal/kvserver"
+)
+
+// ShardedCache routes sample payloads across multiple kvserver nodes by
+// consistent hashing — a minimal Quiver/Hoard-style cluster cache. One
+// connection per node is maintained lazily; the client is safe for
+// concurrent use (per-node connections are mutex-guarded).
+type ShardedCache struct {
+	ring *Ring
+
+	mu    sync.Mutex
+	addrs map[string]string // node name -> dial address
+	conns map[string]*kvserver.Client
+}
+
+// NewShardedCache builds a sharded cache over the given nodes
+// (name -> address). The ring uses 128 virtual points per node.
+func NewShardedCache(nodes map[string]string) (*ShardedCache, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	ring, err := NewRing(128)
+	if err != nil {
+		return nil, err
+	}
+	sc := &ShardedCache{
+		ring:  ring,
+		addrs: make(map[string]string, len(nodes)),
+		conns: make(map[string]*kvserver.Client),
+	}
+	for name, addr := range nodes {
+		if err := ring.Add(name); err != nil {
+			return nil, err
+		}
+		sc.addrs[name] = addr
+	}
+	return sc, nil
+}
+
+// Owner exposes the routing decision for tests and diagnostics.
+func (sc *ShardedCache) Owner(id int) string { return sc.ring.Owner(id) }
+
+func (sc *ShardedCache) client(node string) (*kvserver.Client, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if c, ok := sc.conns[node]; ok {
+		return c, nil
+	}
+	addr, ok := sc.addrs[node]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown node %q", node)
+	}
+	c, err := kvserver.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	sc.conns[node] = c
+	return c, nil
+}
+
+func key(id int) string { return "sample:" + strconv.Itoa(id) }
+
+// Set stores the payload for sample id on its owning shard.
+func (sc *ShardedCache) Set(id int, payload []byte) error {
+	node := sc.ring.Owner(id)
+	if node == "" {
+		return fmt.Errorf("cluster: empty ring")
+	}
+	c, err := sc.client(node)
+	if err != nil {
+		return err
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return c.Set(key(id), payload)
+}
+
+// Get fetches the payload for sample id from its owning shard.
+func (sc *ShardedCache) Get(id int) ([]byte, bool, error) {
+	node := sc.ring.Owner(id)
+	if node == "" {
+		return nil, false, fmt.Errorf("cluster: empty ring")
+	}
+	c, err := sc.client(node)
+	if err != nil {
+		return nil, false, err
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return c.Get(key(id))
+}
+
+// Close shuts every node connection.
+func (sc *ShardedCache) Close() error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	var first error
+	for node, c := range sc.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(sc.conns, node)
+	}
+	return first
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"spidercache/internal/kvserver"
+)
+
+// startCluster spins up n kvservers on loopback and returns the sharded
+// client over them.
+func startCluster(t *testing.T, n int) (*ShardedCache, []*kvserver.Server) {
+	t.Helper()
+	nodes := make(map[string]string, n)
+	servers := make([]*kvserver.Server, 0, n)
+	for i := 0; i < n; i++ {
+		srv, err := kvserver.Serve("127.0.0.1:0", 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		nodes[fmt.Sprintf("w%d", i)] = srv.Addr()
+		servers = append(servers, srv)
+	}
+	sc, err := NewShardedCache(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sc.Close() })
+	return sc, servers
+}
+
+func TestShardedValidation(t *testing.T) {
+	if _, err := NewShardedCache(nil); err == nil {
+		t.Fatal("empty node map accepted")
+	}
+}
+
+func TestShardedRoundtrip(t *testing.T) {
+	sc, _ := startCluster(t, 3)
+	for id := 0; id < 100; id++ {
+		payload := []byte(fmt.Sprintf("payload-%d", id))
+		if err := sc.Set(id, payload); err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := sc.Get(id)
+		if err != nil || !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("id %d: ok=%v err=%v got=%q", id, ok, err, got)
+		}
+	}
+	if _, ok, _ := sc.Get(99999); ok {
+		t.Fatal("absent sample found")
+	}
+}
+
+func TestShardedSpreadsLoad(t *testing.T) {
+	sc, servers := startCluster(t, 3)
+	for id := 0; id < 300; id++ {
+		if err := sc.Set(id, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	populated := 0
+	total := 0
+	for _, srv := range servers {
+		items, _, _ := srv.Stats()
+		total += items
+		if items > 0 {
+			populated++
+		}
+		if items > 250 {
+			t.Fatalf("one shard holds %d/300 items", items)
+		}
+	}
+	if populated != 3 {
+		t.Fatalf("only %d/3 shards populated", populated)
+	}
+	if total != 300 {
+		t.Fatalf("items across shards %d, want 300", total)
+	}
+}
+
+func TestShardedRoutingIsStable(t *testing.T) {
+	sc, servers := startCluster(t, 3)
+	_ = servers
+	for id := 0; id < 50; id++ {
+		if sc.Owner(id) != sc.Owner(id) {
+			t.Fatal("routing unstable")
+		}
+	}
+	// Routing must agree with a freshly built ring over the same nodes.
+	ring, _ := NewRing(128)
+	ring.Add("w0")
+	ring.Add("w1")
+	ring.Add("w2")
+	for id := 0; id < 200; id++ {
+		if sc.Owner(id) != ring.Owner(id) {
+			t.Fatalf("id %d routed to %s, ring says %s", id, sc.Owner(id), ring.Owner(id))
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package dataset
+
+// The presets below mirror the paper's three evaluation datasets at a scale
+// suitable for a single-CPU simulation. Scale multiplies the sample counts;
+// scale 1.0 is the repository default used by `spiderbench`, and tests use
+// smaller scales. Payload means approximate the real datasets' average
+// stored image sizes (CIFAR ≈ 3 KiB raw 32x32x3; ImageNet JPEG ≈ 110 KiB).
+
+func scaled(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// CIFAR10Like mirrors CIFAR-10: 10 coarse classes, easy separation.
+func CIFAR10Like(scale float64, seed uint64) Config {
+	return Config{
+		Name:         "CIFAR10-like",
+		Classes:      10,
+		TrainSize:    scaled(4000, scale),
+		TestSize:     scaled(1600, scale),
+		Dim:          32,
+		ClusterStd:   1.0,
+		BoundaryFrac: 0.20,
+		IsolatedFrac: 0.05,
+		HardFrac:     0.08,
+		PayloadMean:  3 << 10,
+		Seed:         seed,
+	}
+}
+
+// CIFAR100Like mirrors CIFAR-100: 100 fine-grained classes, harder task.
+func CIFAR100Like(scale float64, seed uint64) Config {
+	return Config{
+		Name:         "CIFAR100-like",
+		Classes:      100,
+		TrainSize:    scaled(4000, scale),
+		TestSize:     scaled(1600, scale),
+		Dim:          48,
+		ClusterStd:   1.25,
+		CenterRadius: 5.2,
+		BoundaryFrac: 0.30,
+		IsolatedFrac: 0.05,
+		HardFrac:     0.08,
+		PayloadMean:  3 << 10,
+		Seed:         seed,
+	}
+}
+
+// ImageNetLike mirrors ImageNet's regime: many classes, many samples, large
+// payloads. Class and sample counts are scaled to simulation size.
+func ImageNetLike(scale float64, seed uint64) Config {
+	return Config{
+		Name:         "ImageNet-like",
+		Classes:      200,
+		TrainSize:    scaled(12000, scale),
+		TestSize:     scaled(2000, scale),
+		Dim:          64,
+		ClusterStd:   1.1,
+		CenterRadius: 7.0,
+		BoundaryFrac: 0.25,
+		IsolatedFrac: 0.05,
+		HardFrac:     0.06,
+		PayloadMean:  110 << 10,
+		Seed:         seed,
+	}
+}

@@ -1,0 +1,232 @@
+// Package elastic implements the paper's Elastic Cache Manager
+// (Section 4.3): the controller that shifts cache capacity from the
+// Importance Cache to the Homophily Cache as training matures.
+//
+// Three cooperating parts:
+//
+//   - Importance Monitor: watches the slope of the importance-score standard
+//     deviation σ; a sustained negative slope sets the activation factor
+//     β = 1 (Eq. 5).
+//   - Accuracy Monitor: Savitzky-Golay-smooths the accuracy series, computes
+//     the mean growth rate Δ over a window of m epochs (Eq. 6), and derives
+//     the penalty u = Δ/(γ+Δ) (Eq. 7).
+//   - Ratio Controller: imp_ratio(t) = r_start − β(r_start−r_end)(t/T)^(1+u)
+//     (Eq. 8) — adjustment is slow while accuracy still grows (u→1) and
+//     accelerates once growth stabilises (u→0).
+package elastic
+
+import (
+	"fmt"
+	"math"
+
+	"spidercache/internal/sgolay"
+)
+
+// Config tunes the manager. The paper recommends RStart=0.90, REnd=0.80.
+type Config struct {
+	RStart float64 // initial Importance Cache share
+	REnd   float64 // final Importance Cache share
+	Gamma  float64 // balancing factor in u = Δ/(γ+Δ)
+	Window int     // m, epochs averaged for the growth rate (paper: 5)
+	// SlopeWindow is how many recent σ observations the Importance Monitor
+	// regresses over; Patience is how many consecutive negative slopes are
+	// required before β latches to 1 (guards against σ noise).
+	SlopeWindow int
+	Patience    int
+	TotalEpochs int // T in Eq. 8
+	SGWindow    int // Savitzky-Golay window (odd)
+	SGOrder     int // Savitzky-Golay polynomial order
+}
+
+// DefaultConfig returns the paper-recommended settings for a run of
+// totalEpochs epochs.
+func DefaultConfig(totalEpochs int) Config {
+	return Config{
+		RStart:      0.90,
+		REnd:        0.80,
+		Gamma:       0.01,
+		Window:      5,
+		SlopeWindow: 5,
+		Patience:    2,
+		TotalEpochs: totalEpochs,
+		SGWindow:    5,
+		SGOrder:     2,
+	}
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.RStart <= 0 || c.RStart > 1:
+		return fmt.Errorf("elastic: RStart must be in (0,1], got %g", c.RStart)
+	case c.REnd < 0 || c.REnd > c.RStart:
+		return fmt.Errorf("elastic: REnd must be in [0,RStart], got %g", c.REnd)
+	case c.Gamma <= 0:
+		return fmt.Errorf("elastic: Gamma must be positive, got %g", c.Gamma)
+	case c.Window < 2:
+		return fmt.Errorf("elastic: Window must be >= 2, got %d", c.Window)
+	case c.SlopeWindow < 2:
+		return fmt.Errorf("elastic: SlopeWindow must be >= 2, got %d", c.SlopeWindow)
+	case c.Patience < 1:
+		return fmt.Errorf("elastic: Patience must be >= 1, got %d", c.Patience)
+	case c.TotalEpochs < 1:
+		return fmt.Errorf("elastic: TotalEpochs must be >= 1, got %d", c.TotalEpochs)
+	case c.SGWindow < 3 || c.SGWindow%2 == 0:
+		return fmt.Errorf("elastic: SGWindow must be odd >= 3, got %d", c.SGWindow)
+	case c.SGOrder < 0 || c.SGOrder >= c.SGWindow:
+		return fmt.Errorf("elastic: SGOrder must be in [0,SGWindow), got %d", c.SGOrder)
+	}
+	return nil
+}
+
+// Manager is the Elastic Cache Manager. Feed it one Observe call per epoch.
+type Manager struct {
+	cfg    Config
+	filter *sgolay.Filter
+
+	sigmas     []float64
+	accuracies []float64
+
+	beta        bool // activation latched
+	negStreak   int
+	activatedAt int // epoch index when β latched (ratio time base)
+	lastRatio   float64
+	lastU       float64
+}
+
+// New builds a manager.
+func New(cfg Config) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := sgolay.New(cfg.SGWindow, cfg.SGOrder)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{cfg: cfg, filter: f, lastRatio: cfg.RStart}, nil
+}
+
+// Observe ingests the epoch's importance-score std and held-out accuracy and
+// returns the Importance Cache share to use next epoch.
+func (m *Manager) Observe(epoch int, scoreStd, accuracy float64) float64 {
+	m.sigmas = append(m.sigmas, scoreStd)
+	m.accuracies = append(m.accuracies, accuracy)
+
+	// Importance Monitor: latch β on a sustained negative σ slope (Eq. 5).
+	if !m.beta {
+		if s, ok := m.sigmaSlope(); ok && s < 0 {
+			m.negStreak++
+			if m.negStreak >= m.cfg.Patience {
+				m.beta = true
+				m.activatedAt = epoch
+			}
+		} else {
+			m.negStreak = 0
+		}
+	}
+	if !m.beta {
+		m.lastRatio = m.cfg.RStart
+		return m.lastRatio
+	}
+
+	// Accuracy Monitor: u = Δ/(γ+Δ) from the SG-smoothed growth rate
+	// (Eqs. 6-7). Negative growth clamps Δ at 0 so u stays in [0,1).
+	delta := m.growthRate()
+	if delta < 0 {
+		delta = 0
+	}
+	u := delta / (m.cfg.Gamma + delta)
+	m.lastU = u
+
+	// Ratio Controller (Eq. 8). t counts epochs since activation so the
+	// trajectory starts at r_start the moment β flips, and T is the
+	// remaining training horizon.
+	t := float64(epoch - m.activatedAt + 1)
+	total := float64(m.cfg.TotalEpochs - m.activatedAt)
+	if total < 1 {
+		total = 1
+	}
+	frac := t / total
+	if frac > 1 {
+		frac = 1
+	}
+	ratio := m.cfg.RStart - (m.cfg.RStart-m.cfg.REnd)*math.Pow(frac, 1+u)
+	if ratio < m.cfg.REnd {
+		ratio = m.cfg.REnd
+	}
+	m.lastRatio = ratio
+	return ratio
+}
+
+// Ratio returns the most recently computed Importance Cache share.
+func (m *Manager) Ratio() float64 { return m.lastRatio }
+
+// Activated reports whether the Importance Monitor has latched β = 1.
+func (m *Manager) Activated() bool { return m.beta }
+
+// PenaltyU returns the most recent penalty factor u (0 before activation).
+func (m *Manager) PenaltyU() float64 { return m.lastU }
+
+// sigmaSlope fits a least-squares line over the last SlopeWindow σ values.
+func (m *Manager) sigmaSlope() (float64, bool) {
+	w := m.cfg.SlopeWindow
+	if len(m.sigmas) < w {
+		return 0, false
+	}
+	ys := m.sigmas[len(m.sigmas)-w:]
+	return Slope(ys), true
+}
+
+// growthRate computes Eq. 6 over the SG-smoothed accuracy series.
+func (m *Manager) growthRate() float64 {
+	if len(m.accuracies) < 2 {
+		return 0
+	}
+	smoothed := m.filter.Smooth(m.accuracies)
+	mWin := m.cfg.Window
+	if mWin > len(smoothed)-1 {
+		mWin = len(smoothed) - 1
+	}
+	var sum float64
+	for i := 0; i < mWin; i++ {
+		hi := len(smoothed) - 1 - i
+		sum += smoothed[hi] - smoothed[hi-1]
+	}
+	return sum / float64(mWin)
+}
+
+// Slope returns the least-squares slope of ys against index 0..len-1.
+func Slope(ys []float64) float64 {
+	n := float64(len(ys))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i, y := range ys {
+		x := float64(i)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / denom
+}
+
+// RatioAt evaluates Eq. 8 directly for given parameters; used by the Fig 11
+// analytic sweep and property tests.
+func RatioAt(rStart, rEnd, frac, u float64, beta bool) float64 {
+	if !beta {
+		return rStart
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return rStart - (rStart-rEnd)*math.Pow(frac, 1+u)
+}

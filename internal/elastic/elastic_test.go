@@ -1,0 +1,202 @@
+package elastic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.RStart = 0 },
+		func(c *Config) { c.RStart = 1.2 },
+		func(c *Config) { c.REnd = c.RStart + 0.1 },
+		func(c *Config) { c.REnd = -0.1 },
+		func(c *Config) { c.Gamma = 0 },
+		func(c *Config) { c.Window = 1 },
+		func(c *Config) { c.SlopeWindow = 1 },
+		func(c *Config) { c.Patience = 0 },
+		func(c *Config) { c.TotalEpochs = 0 },
+		func(c *Config) { c.SGWindow = 4 },
+		func(c *Config) { c.SGOrder = 9 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig(100)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if _, err := New(DefaultConfig(100)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// feed pushes a synthetic training trace: σ rises for riseLen epochs then
+// decays; accuracy follows a saturating curve.
+func feed(m *Manager, epochs, riseLen int) []float64 {
+	ratios := make([]float64, epochs)
+	for e := 0; e < epochs; e++ {
+		var sigma float64
+		if e < riseLen {
+			sigma = 0.1 + 0.02*float64(e)
+		} else {
+			sigma = 0.1 + 0.02*float64(riseLen) - 0.015*float64(e-riseLen)
+			if sigma < 0.01 {
+				sigma = 0.01
+			}
+		}
+		acc := 0.9 * (1 - math.Exp(-float64(e)/8))
+		ratios[e] = m.Observe(e, sigma, acc)
+	}
+	return ratios
+}
+
+func TestRatioStaysAtStartBeforeActivation(t *testing.T) {
+	m, _ := New(DefaultConfig(40))
+	ratios := feed(m, 10, 20) // σ still rising throughout
+	for e, r := range ratios {
+		if r != 0.90 {
+			t.Fatalf("epoch %d: ratio %.3f before activation", e, r)
+		}
+	}
+	if m.Activated() {
+		t.Fatal("activated while σ rising")
+	}
+}
+
+func TestActivationOnDecliningSigma(t *testing.T) {
+	m, _ := New(DefaultConfig(40))
+	feed(m, 40, 10)
+	if !m.Activated() {
+		t.Fatal("β never latched despite declining σ")
+	}
+	if m.Ratio() >= 0.90 {
+		t.Fatalf("ratio %.4f did not move after activation", m.Ratio())
+	}
+}
+
+func TestRatioMonotoneAndBounded(t *testing.T) {
+	m, _ := New(DefaultConfig(40))
+	ratios := feed(m, 40, 8)
+	for e := 1; e < len(ratios); e++ {
+		if ratios[e] > ratios[e-1]+1e-12 {
+			t.Fatalf("ratio increased at epoch %d: %.4f -> %.4f", e, ratios[e-1], ratios[e])
+		}
+	}
+	last := ratios[len(ratios)-1]
+	if last < 0.80-1e-9 || last > 0.90+1e-9 {
+		t.Fatalf("final ratio %.4f outside [0.80, 0.90]", last)
+	}
+}
+
+func TestRatioReachesREnd(t *testing.T) {
+	cfg := DefaultConfig(30)
+	m, _ := New(cfg)
+	ratios := feed(m, 30, 6)
+	if got := ratios[len(ratios)-1]; math.Abs(got-cfg.REnd) > 0.02 {
+		t.Fatalf("final ratio %.4f, want ~%.2f", got, cfg.REnd)
+	}
+}
+
+// TestPenaltySlowsAdjustment: with rapidly growing accuracy (u -> 1) the
+// ratio trajectory must stay above the u -> 0 trajectory at mid-training.
+func TestPenaltySlowsAdjustment(t *testing.T) {
+	run := func(growing bool) float64 {
+		m, _ := New(DefaultConfig(40))
+		var mid float64
+		for e := 0; e < 40; e++ {
+			sigma := 0.3 - 0.01*float64(e) // declining from the start
+			acc := 0.5
+			if growing {
+				acc = 0.02 * float64(e) // strong steady growth
+			}
+			r := m.Observe(e, sigma, acc)
+			if e == 20 {
+				mid = r
+			}
+		}
+		return mid
+	}
+	fast := run(true)  // u near 1: adjustment slowed
+	slow := run(false) // u = 0: adjustment at full speed
+	if fast <= slow {
+		t.Fatalf("growing accuracy did not slow the shift: %.4f vs %.4f", fast, slow)
+	}
+}
+
+func TestRatioAtFormula(t *testing.T) {
+	// Eq. 8 spot checks.
+	if got := RatioAt(0.9, 0.8, 0, 0, true); got != 0.9 {
+		t.Fatalf("t=0: %g", got)
+	}
+	if got := RatioAt(0.9, 0.8, 1, 0, true); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("t=T,u=0: %g", got)
+	}
+	if got := RatioAt(0.9, 0.8, 0.5, 0, true); math.Abs(got-0.85) > 1e-12 {
+		t.Fatalf("t=T/2,u=0: %g (linear when u=0)", got)
+	}
+	if got := RatioAt(0.9, 0.8, 0.5, 1, true); math.Abs(got-(0.9-0.1*0.25)) > 1e-12 {
+		t.Fatalf("t=T/2,u=1: %g (quadratic when u=1)", got)
+	}
+	if got := RatioAt(0.9, 0.8, 0.7, 0.3, false); got != 0.9 {
+		t.Fatalf("β=0: %g", got)
+	}
+}
+
+// Property: RatioAt is bounded by [rEnd, rStart] and decreasing in frac.
+func TestRatioAtProperties(t *testing.T) {
+	check := func(fracRaw, uRaw uint8) bool {
+		frac := float64(fracRaw) / 255
+		u := float64(uRaw) / 255
+		r := RatioAt(0.9, 0.8, frac, u, true)
+		if r < 0.8-1e-12 || r > 0.9+1e-12 {
+			return false
+		}
+		r2 := RatioAt(0.9, 0.8, frac+0.1, u, true)
+		return r2 <= r+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlope(t *testing.T) {
+	if s := Slope([]float64{1, 2, 3, 4}); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("Slope = %g, want 1", s)
+	}
+	if s := Slope([]float64{4, 3, 2, 1}); math.Abs(s+1) > 1e-12 {
+		t.Fatalf("Slope = %g, want -1", s)
+	}
+	if s := Slope([]float64{5, 5, 5}); s != 0 {
+		t.Fatalf("Slope of constant = %g", s)
+	}
+	if s := Slope([]float64{7}); s != 0 {
+		t.Fatalf("Slope of single point = %g", s)
+	}
+}
+
+func TestPatienceGuardsAgainstNoise(t *testing.T) {
+	cfg := DefaultConfig(40)
+	cfg.Patience = 3
+	m, _ := New(cfg)
+	// Alternating slope signs: never Patience consecutive negatives.
+	sig := []float64{0.1, 0.2, 0.15, 0.25, 0.2, 0.3, 0.25, 0.35, 0.3, 0.4}
+	for e, s := range sig {
+		m.Observe(e, s, 0.5)
+	}
+	if m.Activated() {
+		t.Fatal("activated on noisy σ")
+	}
+}
+
+func TestPenaltyUReported(t *testing.T) {
+	m, _ := New(DefaultConfig(40))
+	if m.PenaltyU() != 0 {
+		t.Fatal("u nonzero before activation")
+	}
+	feed(m, 40, 5)
+	if u := m.PenaltyU(); u < 0 || u >= 1 {
+		t.Fatalf("u = %g outside [0,1)", u)
+	}
+}

@@ -1,0 +1,100 @@
+package hnsw
+
+// candidate pairs a node with its distance to the current query.
+type candidate struct {
+	id   uint32
+	dist float64
+}
+
+// minHeap orders candidates by ascending distance (closest first).
+type minHeap []candidate
+
+func (h *minHeap) push(c candidate) {
+	*h = append(*h, c)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].dist <= (*h)[i].dist {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *minHeap) pop() candidate {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	h.siftDown(0)
+	return top
+}
+
+func (h *minHeap) siftDown(i int) {
+	n := len(*h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*h)[l].dist < (*h)[small].dist {
+			small = l
+		}
+		if r < n && (*h)[r].dist < (*h)[small].dist {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+}
+
+// maxHeap orders candidates by descending distance (farthest first); it
+// implements the bounded result set of the layer search.
+type maxHeap []candidate
+
+func (h *maxHeap) push(c candidate) {
+	*h = append(*h, c)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].dist >= (*h)[i].dist {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *maxHeap) pop() candidate {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	h.siftDown(0)
+	return top
+}
+
+func (h *maxHeap) siftDown(i int) {
+	n := len(*h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && (*h)[l].dist > (*h)[big].dist {
+			big = l
+		}
+		if r < n && (*h)[r].dist > (*h)[big].dist {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		(*h)[i], (*h)[big] = (*h)[big], (*h)[i]
+		i = big
+	}
+}
+
+func (h maxHeap) top() candidate { return h[0] }

@@ -1,0 +1,450 @@
+// Package hnsw is a from-scratch implementation of Hierarchical Navigable
+// Small World graphs (Malkov & Yashunin, 2018), the approximate
+// nearest-neighbour index the paper uses (via hnswlib) to evaluate sample
+// embeddings.
+//
+// The index supports dynamic insertion and in-place vector updates — the two
+// operations SpiderCache's per-batch IS loop performs — plus k-NN search
+// with a tunable ef parameter. Distances are Euclidean (the paper's Eq. 1).
+//
+// The implementation follows the paper's Algorithms 1-5: multi-layer
+// proximity graphs with exponentially decaying layer population, greedy
+// descent from the entry point, best-first beam search per layer
+// (efConstruction / efSearch), and the diversity-preserving neighbour
+// selection heuristic.
+package hnsw
+
+import (
+	"fmt"
+	"math"
+
+	"spidercache/internal/xrand"
+)
+
+// Config tunes index construction and search.
+type Config struct {
+	M              int // max neighbours per node on upper layers (layer 0 gets 2*M)
+	EfConstruction int // beam width during insertion
+	EfSearch       int // default beam width during search
+	// UpdateEps is the Euclidean movement below which an Upsert of an
+	// existing point only replaces its stored vector without repairing
+	// graph links. Embedding drift between consecutive scoring passes is
+	// tiny once training stabilises, so this avoids paying the full
+	// re-link cost every batch; 0 always re-links.
+	UpdateEps float64
+	Seed      uint64
+}
+
+// DefaultConfig returns values that give high recall on the embedding
+// workloads in this repository (small dimensionality, 10^3..10^5 points).
+// UpdateEps is calibrated for unit-normalised embeddings (distances in
+// [0, 2]).
+func DefaultConfig() Config {
+	return Config{M: 12, EfConstruction: 120, EfSearch: 64, UpdateEps: 0.02, Seed: 1}
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.M < 2:
+		return fmt.Errorf("hnsw: M must be >= 2, got %d", c.M)
+	case c.EfConstruction < c.M:
+		return fmt.Errorf("hnsw: EfConstruction %d < M %d", c.EfConstruction, c.M)
+	case c.EfSearch < 1:
+		return fmt.Errorf("hnsw: EfSearch must be >= 1, got %d", c.EfSearch)
+	}
+	return nil
+}
+
+// node is one indexed point.
+type node struct {
+	id    int       // external ID
+	vec   []float64 // owned copy of the vector
+	level int
+	// links[l] holds neighbour slot indexes at layer l, 0 <= l <= level.
+	links [][]uint32
+}
+
+// Index is an HNSW approximate nearest-neighbour index. It is not safe for
+// concurrent mutation; concurrent read-only searches are safe once built.
+type Index struct {
+	cfg   Config
+	ml    float64 // level normalisation factor 1/ln(M)
+	rng   *xrand.Rand
+	nodes []*node
+	byID  map[int]uint32 // external ID -> slot
+	entry int            // slot of entry point, -1 if empty
+	maxLv int
+
+	visited    []uint32 // visit-marking scratch, one epoch counter per slot
+	visitEpoch uint32
+}
+
+// New creates an empty index.
+func New(cfg Config) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Index{
+		cfg:   cfg,
+		ml:    1 / math.Log(float64(cfg.M)),
+		rng:   xrand.New(cfg.Seed),
+		byID:  make(map[int]uint32),
+		entry: -1,
+	}, nil
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return len(ix.nodes) }
+
+// Dim returns the dimensionality of the indexed vectors (0 when empty).
+func (ix *Index) Dim() int {
+	if len(ix.nodes) == 0 {
+		return 0
+	}
+	return len(ix.nodes[0].vec)
+}
+
+// Contains reports whether id has been indexed.
+func (ix *Index) Contains(id int) bool {
+	_, ok := ix.byID[id]
+	return ok
+}
+
+// Vector returns a copy of the stored vector for id, or nil when unknown.
+func (ix *Index) Vector(id int) []float64 {
+	slot, ok := ix.byID[id]
+	if !ok {
+		return nil
+	}
+	out := make([]float64, len(ix.nodes[slot].vec))
+	copy(out, ix.nodes[slot].vec)
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func (ix *Index) dist(slot uint32, q []float64) float64 {
+	return sqDist(ix.nodes[slot].vec, q)
+}
+
+// Upsert inserts the vector under id, or replaces the stored vector when id
+// is already indexed (re-linking the point at every layer it occupies). This
+// is the per-batch "ANN_index.update" operation of the paper's Algorithm 1.
+func (ix *Index) Upsert(id int, vec []float64) error {
+	if len(vec) == 0 {
+		return fmt.Errorf("hnsw: empty vector for id %d", id)
+	}
+	if d := ix.Dim(); d != 0 && len(vec) != d {
+		return fmt.Errorf("hnsw: vector dim %d != index dim %d", len(vec), d)
+	}
+	if slot, ok := ix.byID[id]; ok {
+		ix.updateVector(slot, vec)
+		return nil
+	}
+	ix.insert(id, vec)
+	return nil
+}
+
+func (ix *Index) insert(id int, vec []float64) {
+	owned := make([]float64, len(vec))
+	copy(owned, vec)
+	level := ix.randomLevel()
+	n := &node{id: id, vec: owned, level: level, links: make([][]uint32, level+1)}
+	slot := uint32(len(ix.nodes))
+	ix.nodes = append(ix.nodes, n)
+	ix.visited = append(ix.visited, 0)
+	ix.byID[id] = slot
+
+	if ix.entry < 0 {
+		ix.entry = int(slot)
+		ix.maxLv = level
+		return
+	}
+
+	ep := uint32(ix.entry)
+	epDist := ix.dist(ep, vec)
+	// Greedy descent through layers above the new node's level.
+	for l := ix.maxLv; l > level; l-- {
+		ep, epDist = ix.greedyStep(ep, epDist, vec, l)
+	}
+	// Beam search + heuristic linking on each layer from min(level, maxLv)
+	// down to 0.
+	for l := min(level, ix.maxLv); l >= 0; l-- {
+		cands := ix.searchLayer(ep, epDist, vec, ix.cfg.EfConstruction, l)
+		selected := ix.selectHeuristic(cands, ix.layerCap(l))
+		n.links[l] = make([]uint32, 0, len(selected))
+		for _, c := range selected {
+			n.links[l] = append(n.links[l], c.id)
+			ix.linkBack(c.id, slot, l)
+		}
+		if len(cands) > 0 {
+			ep, epDist = cands[0].id, cands[0].dist
+		}
+	}
+	if level > ix.maxLv {
+		ix.maxLv = level
+		ix.entry = int(slot)
+	}
+}
+
+// updateVector replaces the stored vector and repairs the point's outgoing
+// links by re-running neighbour selection at each of its layers, mirroring
+// hnswlib's update_point repair. Movements below UpdateEps skip the repair.
+func (ix *Index) updateVector(slot uint32, vec []float64) {
+	n := ix.nodes[slot]
+	if eps := ix.cfg.UpdateEps; eps > 0 && sqDist(n.vec, vec) < eps*eps {
+		copy(n.vec, vec)
+		return
+	}
+	copy(n.vec, vec)
+	if len(ix.nodes) == 1 {
+		return
+	}
+	ep := uint32(ix.entry)
+	epDist := ix.dist(ep, n.vec)
+	for l := ix.maxLv; l > n.level; l-- {
+		ep, epDist = ix.greedyStep(ep, epDist, n.vec, l)
+	}
+	for l := min(n.level, ix.maxLv); l >= 0; l-- {
+		cands := ix.searchLayer(ep, epDist, n.vec, ix.cfg.EfConstruction, l)
+		// Drop self-references before selecting.
+		filtered := cands[:0]
+		for _, c := range cands {
+			if c.id != slot {
+				filtered = append(filtered, c)
+			}
+		}
+		selected := ix.selectHeuristic(filtered, ix.layerCap(l))
+		n.links[l] = n.links[l][:0]
+		for _, c := range selected {
+			n.links[l] = append(n.links[l], c.id)
+			ix.linkBack(c.id, slot, l)
+		}
+		if len(filtered) > 0 {
+			ep, epDist = filtered[0].id, filtered[0].dist
+		}
+	}
+}
+
+// layerCap returns the max neighbours per node at layer l.
+func (ix *Index) layerCap(l int) int {
+	if l == 0 {
+		return 2 * ix.cfg.M
+	}
+	return ix.cfg.M
+}
+
+// linkBack adds src as a neighbour of dst at layer l, pruning dst's list
+// with the selection heuristic when it overflows.
+func (ix *Index) linkBack(dst, src uint32, l int) {
+	d := ix.nodes[dst]
+	for _, existing := range d.links[l] {
+		if existing == src {
+			return
+		}
+	}
+	d.links[l] = append(d.links[l], src)
+	if cap := ix.layerCap(l); len(d.links[l]) > cap {
+		cands := make([]candidate, 0, len(d.links[l]))
+		for _, nb := range d.links[l] {
+			cands = append(cands, candidate{id: nb, dist: ix.dist(nb, d.vec)})
+		}
+		sortCandidates(cands)
+		selected := ix.selectHeuristic(cands, cap)
+		d.links[l] = d.links[l][:0]
+		for _, c := range selected {
+			d.links[l] = append(d.links[l], c.id)
+		}
+	}
+}
+
+// greedyStep walks layer l greedily towards q, returning the local minimum.
+func (ix *Index) greedyStep(ep uint32, epDist float64, q []float64, l int) (uint32, float64) {
+	for {
+		improved := false
+		n := ix.nodes[ep]
+		if l < len(n.links) {
+			for _, nb := range n.links[l] {
+				if d := ix.dist(nb, q); d < epDist {
+					ep, epDist = nb, d
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			return ep, epDist
+		}
+	}
+}
+
+// searchLayer runs best-first beam search on layer l starting from ep and
+// returns up to ef candidates sorted by ascending distance.
+func (ix *Index) searchLayer(ep uint32, epDist float64, q []float64, ef int, l int) []candidate {
+	ix.visitEpoch++
+	epoch := ix.visitEpoch
+	ix.visited[ep] = epoch
+
+	var frontier minHeap
+	var results maxHeap
+	frontier.push(candidate{id: ep, dist: epDist})
+	results.push(candidate{id: ep, dist: epDist})
+
+	for len(frontier) > 0 {
+		cur := frontier.pop()
+		if len(results) >= ef && cur.dist > results.top().dist {
+			break
+		}
+		n := ix.nodes[cur.id]
+		if l >= len(n.links) {
+			continue
+		}
+		for _, nb := range n.links[l] {
+			if ix.visited[nb] == epoch {
+				continue
+			}
+			ix.visited[nb] = epoch
+			d := ix.dist(nb, q)
+			if len(results) < ef || d < results.top().dist {
+				frontier.push(candidate{id: nb, dist: d})
+				results.push(candidate{id: nb, dist: d})
+				if len(results) > ef {
+					results.pop()
+				}
+			}
+		}
+	}
+	out := make([]candidate, len(results))
+	copy(out, results)
+	sortCandidates(out)
+	return out
+}
+
+// selectHeuristic implements the diversity-preserving neighbour selection of
+// the HNSW paper (Algorithm 4): a candidate is kept only if it is closer to
+// the query than to every already-selected neighbour. cands must be sorted
+// ascending by distance.
+func (ix *Index) selectHeuristic(cands []candidate, m int) []candidate {
+	if len(cands) <= m {
+		return cands
+	}
+	selected := make([]candidate, 0, m)
+	for _, c := range cands {
+		if len(selected) >= m {
+			break
+		}
+		keep := true
+		cv := ix.nodes[c.id].vec
+		for _, s := range selected {
+			if sqDist(cv, ix.nodes[s.id].vec) < c.dist {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			selected = append(selected, c)
+		}
+	}
+	// Backfill with nearest remaining candidates when the heuristic was too
+	// aggressive (keepPrunedConnections in hnswlib terms).
+	if len(selected) < m {
+		for _, c := range cands {
+			if len(selected) >= m {
+				break
+			}
+			dup := false
+			for _, s := range selected {
+				if s.id == c.id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				selected = append(selected, c)
+			}
+		}
+	}
+	return selected
+}
+
+func sortCandidates(cands []candidate) {
+	// Insertion sort: candidate lists are small (<= ef).
+	for i := 1; i < len(cands); i++ {
+		c := cands[i]
+		j := i - 1
+		for j >= 0 && cands[j].dist > c.dist {
+			cands[j+1] = cands[j]
+			j--
+		}
+		cands[j+1] = c
+	}
+}
+
+// Result is one search hit.
+type Result struct {
+	ID   int
+	Dist float64 // Euclidean distance (Eq. 1 of the paper)
+}
+
+// SearchKNN returns up to k approximate nearest neighbours of q using the
+// configured EfSearch beam width.
+func (ix *Index) SearchKNN(q []float64, k int) []Result {
+	return ix.SearchKNNEf(q, k, ix.cfg.EfSearch)
+}
+
+// SearchKNNEf is SearchKNN with an explicit beam width ef (>= k recommended).
+func (ix *Index) SearchKNNEf(q []float64, k, ef int) []Result {
+	if ix.entry < 0 || k <= 0 {
+		return nil
+	}
+	if ef < k {
+		ef = k
+	}
+	ep := uint32(ix.entry)
+	epDist := ix.dist(ep, q)
+	for l := ix.maxLv; l > 0; l-- {
+		ep, epDist = ix.greedyStep(ep, epDist, q, l)
+	}
+	cands := ix.searchLayer(ep, epDist, q, ef, 0)
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]Result, len(cands))
+	for i, c := range cands {
+		out[i] = Result{ID: ix.nodes[c.id].id, Dist: math.Sqrt(c.dist)}
+	}
+	return out
+}
+
+// randomLevel draws the node level from the exponential distribution
+// floor(-ln(U) * mL) used by the HNSW paper.
+func (ix *Index) randomLevel() int {
+	lv := int(ix.rng.ExpFloat64() * ix.ml)
+	const maxLevel = 30
+	if lv > maxLevel {
+		lv = maxLevel
+	}
+	return lv
+}
+
+// MemoryBytes estimates the resident size of the index: vectors plus link
+// lists plus per-node overhead. Used by the Table 2 storage-efficiency
+// experiment.
+func (ix *Index) MemoryBytes() int64 {
+	var total int64
+	for _, n := range ix.nodes {
+		total += int64(len(n.vec)) * 8
+		for _, l := range n.links {
+			total += int64(len(l)) * 4
+		}
+		total += 48 // struct overhead: id, level, slice headers
+	}
+	return total
+}

@@ -1,0 +1,59 @@
+package hnsw
+
+import (
+	"testing"
+
+	"spidercache/internal/xrand"
+)
+
+func benchVecs(n, dim int) [][]float64 {
+	rng := xrand.New(1)
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func BenchmarkInsert(b *testing.B) {
+	vecs := benchVecs(b.N+1, 32)
+	ix, _ := New(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ix.Upsert(i, vecs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchKNN(b *testing.B) {
+	const n = 8000
+	vecs := benchVecs(n, 32)
+	ix, _ := New(DefaultConfig())
+	for i, v := range vecs {
+		ix.Upsert(i, v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SearchKNN(vecs[i%n], 24)
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	const n = 4000
+	vecs := benchVecs(n, 32)
+	ix, _ := New(DefaultConfig())
+	for i, v := range vecs {
+		ix.Upsert(i, v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ix.Upsert(i%n, vecs[(i+1)%n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package kvserver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// Client is a connection to a kvserver. It is not safe for concurrent use;
+// open one client per goroutine (the server handles each connection
+// independently).
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a kvserver at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close sends QUIT and closes the connection.
+func (c *Client) Close() error {
+	fmt.Fprint(c.w, "QUIT\r\n")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+// Set stores value under key.
+func (c *Client) Set(key string, value []byte) error {
+	if strings.ContainsAny(key, " \r\n") || key == "" {
+		return fmt.Errorf("kvserver: invalid key %q", key)
+	}
+	if _, err := fmt.Fprintf(c.w, "SET %s %d\r\n", key, len(value)); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(value); err != nil {
+		return err
+	}
+	if _, err := c.w.WriteString("\r\n"); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := readLine(c.r)
+	if err != nil {
+		return err
+	}
+	if line != "STORED" {
+		return fmt.Errorf("kvserver: SET failed: %s", line)
+	}
+	return nil
+}
+
+// Get fetches the value under key; ok is false on a miss.
+func (c *Client) Get(key string) (value []byte, ok bool, err error) {
+	if _, err := fmt.Fprintf(c.w, "GET %s\r\n", key); err != nil {
+		return nil, false, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, false, err
+	}
+	line, err := readLine(c.r)
+	if err != nil {
+		return nil, false, err
+	}
+	switch {
+	case line == "NOT_FOUND":
+		return nil, false, nil
+	case strings.HasPrefix(line, "VALUE "):
+		n, err := strconv.Atoi(strings.TrimPrefix(line, "VALUE "))
+		if err != nil || n < 0 || n > MaxValueSize {
+			return nil, false, fmt.Errorf("kvserver: bad VALUE header %q", line)
+		}
+		value := make([]byte, n)
+		if _, err := io.ReadFull(c.r, value); err != nil {
+			return nil, false, err
+		}
+		if err := expectCRLF(c.r); err != nil {
+			return nil, false, err
+		}
+		return value, true, nil
+	default:
+		return nil, false, fmt.Errorf("kvserver: GET failed: %s", line)
+	}
+}
+
+// Del removes key; ok reports whether it was present.
+func (c *Client) Del(key string) (bool, error) {
+	if _, err := fmt.Fprintf(c.w, "DEL %s\r\n", key); err != nil {
+		return false, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	line, err := readLine(c.r)
+	if err != nil {
+		return false, err
+	}
+	switch line {
+	case "DELETED":
+		return true, nil
+	case "NOT_FOUND":
+		return false, nil
+	default:
+		return false, fmt.Errorf("kvserver: DEL failed: %s", line)
+	}
+}
+
+// Stats returns (items, hits, misses) from the server.
+func (c *Client) Stats() (items int, hits, misses int64, err error) {
+	if _, err := fmt.Fprint(c.w, "STATS\r\n"); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, 0, 0, err
+	}
+	line, err := readLine(c.r)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var i int
+	var h, m int64
+	if _, err := fmt.Sscanf(line, "STATS %d %d %d", &i, &h, &m); err != nil {
+		return 0, 0, 0, fmt.Errorf("kvserver: bad STATS reply %q", line)
+	}
+	return i, h, m, nil
+}

@@ -1,0 +1,36 @@
+package kvserver
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzServeOne drives the protocol handler with arbitrary bytes: the server
+// must never panic regardless of input, and every reply must be a protocol
+// line. The seed corpus covers each command and common malformations.
+func FuzzServeOne(f *testing.F) {
+	f.Add([]byte("GET k\r\n"))
+	f.Add([]byte("SET k 3\r\nabc\r\n"))
+	f.Add([]byte("SET k 3\r\nabcXX"))
+	f.Add([]byte("DEL k\r\n"))
+	f.Add([]byte("STATS\r\n"))
+	f.Add([]byte("QUIT\r\n"))
+	f.Add([]byte("SET k 99999999999999999999\r\n"))
+	f.Add([]byte("\r\n"))
+	f.Add([]byte{0, 1, 2, '\n'})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		srv := &Server{store: newStore(8)}
+		r := bufio.NewReader(bytes.NewReader(input))
+		var out bytes.Buffer
+		w := bufio.NewWriter(&out)
+		// Serve until the handler reports an error (EOF, protocol error,
+		// quit); each call must return rather than panic.
+		for i := 0; i < 16; i++ {
+			if err := srv.serveOne(r, w); err != nil {
+				break
+			}
+		}
+		w.Flush()
+	})
+}

@@ -1,0 +1,264 @@
+package kvserver
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func startServer(t *testing.T, capacity int) *Server {
+	t.Helper()
+	srv, err := Serve("127.0.0.1:0", capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func dial(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestServeValidation(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0", 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestSetGetDel(t *testing.T) {
+	srv := startServer(t, 16)
+	c := dial(t, srv)
+
+	payload := []byte("sample-bytes \r\n with binary \x00\x01\x02")
+	if err := c.Set("img:42", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get("img:42")
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+
+	if _, ok, _ := c.Get("absent"); ok {
+		t.Fatal("absent key found")
+	}
+	if ok, err := c.Del("img:42"); err != nil || !ok {
+		t.Fatalf("Del: ok=%v err=%v", ok, err)
+	}
+	if ok, _ := c.Del("img:42"); ok {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok, _ := c.Get("img:42"); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestEmptyValue(t *testing.T) {
+	srv := startServer(t, 4)
+	c := dial(t, srv)
+	if err := c.Set("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get("empty")
+	if err != nil || !ok || len(got) != 0 {
+		t.Fatalf("empty value roundtrip: %v %v %q", ok, err, got)
+	}
+}
+
+func TestLRUEvictionOverWire(t *testing.T) {
+	srv := startServer(t, 2)
+	c := dial(t, srv)
+	c.Set("a", []byte("1"))
+	c.Set("b", []byte("2"))
+	if _, ok, _ := c.Get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Set("c", []byte("3")) // evicts b
+	if _, ok, _ := c.Get("b"); ok {
+		t.Fatal("LRU victim b still present")
+	}
+	if _, ok, _ := c.Get("a"); !ok {
+		t.Fatal("recently used a evicted")
+	}
+	items, hits, misses := srv.Stats()
+	if items != 2 {
+		t.Fatalf("items %d", items)
+	}
+	if hits < 2 || misses < 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestStatsOverWire(t *testing.T) {
+	srv := startServer(t, 8)
+	c := dial(t, srv)
+	c.Set("k", []byte("v"))
+	c.Get("k")
+	c.Get("nope")
+	items, hits, misses, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items != 1 || hits != 1 || misses != 1 {
+		t.Fatalf("stats %d/%d/%d", items, hits, misses)
+	}
+}
+
+func TestInvalidClientKey(t *testing.T) {
+	srv := startServer(t, 8)
+	c := dial(t, srv)
+	for _, key := range []string{"", "has space", "has\nnewline"} {
+		if err := c.Set(key, []byte("v")); err == nil {
+			t.Errorf("key %q accepted", key)
+		}
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	srv := startServer(t, 8)
+	cases := []string{
+		"BOGUS\r\n",
+		"SET onlykey\r\n",
+		"SET k notanumber\r\n",
+		"SET k -1\r\n",
+		"GET\r\n",
+		"DEL\r\n",
+		fmt.Sprintf("SET %s 1\r\nx\r\n", strings.Repeat("k", MaxKeyLen+1)),
+	}
+	for _, raw := range cases {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprint(conn, raw)
+		buf := make([]byte, 256)
+		n, _ := conn.Read(buf)
+		reply := string(buf[:n])
+		if !strings.HasPrefix(reply, "SERVER_ERROR") {
+			t.Errorf("input %q: reply %q, want SERVER_ERROR", raw, reply)
+		}
+		conn.Close()
+	}
+}
+
+func TestPayloadMissingCRLF(t *testing.T) {
+	srv := startServer(t, 8)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprint(conn, "SET k 3\r\nabcXY") // payload not followed by \r\n
+	buf := make([]byte, 256)
+	n, _ := conn.Read(buf)
+	if !strings.HasPrefix(string(buf[:n]), "SERVER_ERROR") {
+		t.Fatalf("reply %q", string(buf[:n]))
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv := startServer(t, 1024)
+	const clients, opsPerClient = 8, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < opsPerClient; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i%50)
+				val := []byte(fmt.Sprintf("v-%d-%d", g, i))
+				if err := c.Set(key, val); err != nil {
+					errs <- err
+					return
+				}
+				got, ok, err := c.Get(key)
+				if err != nil || !ok || !bytes.Equal(got, val) {
+					errs <- fmt.Errorf("g%d op%d: ok=%v err=%v got=%q", g, i, ok, err, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	items, _, _ := srv.Stats()
+	if items != clients*50 {
+		t.Fatalf("items %d, want %d", items, clients*50)
+	}
+}
+
+func TestUpdateExistingKey(t *testing.T) {
+	srv := startServer(t, 4)
+	c := dial(t, srv)
+	c.Set("k", []byte("v1"))
+	c.Set("k", []byte("v2"))
+	got, ok, _ := c.Get("k")
+	if !ok || string(got) != "v2" {
+		t.Fatalf("update lost: %q", got)
+	}
+	items, _, _ := srv.Stats()
+	if items != 1 {
+		t.Fatalf("duplicate key grew store to %d", items)
+	}
+}
+
+func TestCloseStopsServer(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dial(addr); err == nil {
+		t.Fatal("dial succeeded after Close")
+	}
+}
+
+func BenchmarkSetGet(b *testing.B) {
+	srv, err := Serve("127.0.0.1:0", 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	payload := bytes.Repeat([]byte("x"), 3<<10) // CIFAR-sized sample
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("k%d", i%2048)
+		if err := c.Set(key, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := c.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

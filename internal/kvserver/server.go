@@ -1,0 +1,313 @@
+// Package kvserver implements the in-memory cache tier as a real networked
+// service — the role Redis plays in the paper's implementation ("uses Redis
+// for in-memory caching, following SHADE").
+//
+// The simulation in internal/storage models this tier's *cost*; kvserver is
+// the working implementation for deployments that want an actual shared
+// cache process: a TCP server speaking a small memcached-style text
+// protocol, backed by a concurrency-safe LRU store with an item capacity.
+//
+// Protocol (lines end in \r\n; payloads are raw bytes):
+//
+//	SET <key> <nbytes>\r\n<payload>\r\n    -> STORED | SERVER_ERROR <msg>
+//	GET <key>\r\n                          -> VALUE <nbytes>\r\n<payload>\r\n | NOT_FOUND
+//	DEL <key>\r\n                          -> DELETED | NOT_FOUND
+//	STATS\r\n                              -> STATS <items> <hits> <misses>\r\n
+//	QUIT\r\n                               -> connection closed
+package kvserver
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxValueSize bounds a single payload (guards the server against abusive
+// SETs).
+const MaxValueSize = 64 << 20
+
+// MaxKeyLen bounds key length.
+const MaxKeyLen = 256
+
+// store is the concurrency-safe LRU value store.
+type store struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*kvNode
+	head     *kvNode // most recently used
+	tail     *kvNode
+	hits     int64
+	misses   int64
+}
+
+type kvNode struct {
+	key        string
+	value      []byte
+	prev, next *kvNode
+}
+
+func newStore(capacity int) *store {
+	return &store{capacity: capacity, entries: make(map[string]*kvNode, capacity)}
+}
+
+func (s *store) get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.moveToFront(n)
+	return n.value, true
+}
+
+func (s *store) set(key string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.entries[key]; ok {
+		n.value = value
+		s.moveToFront(n)
+		return
+	}
+	if len(s.entries) >= s.capacity && s.tail != nil {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.entries, victim.key)
+	}
+	n := &kvNode{key: key, value: value}
+	s.entries[key] = n
+	s.pushFront(n)
+}
+
+func (s *store) del(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.entries[key]
+	if !ok {
+		return false
+	}
+	s.unlink(n)
+	delete(s.entries, key)
+	return true
+}
+
+func (s *store) stats() (items int, hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries), s.hits, s.misses
+}
+
+func (s *store) pushFront(n *kvNode) {
+	n.prev = nil
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+func (s *store) unlink(n *kvNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (s *store) moveToFront(n *kvNode) {
+	if s.head == n {
+		return
+	}
+	s.unlink(n)
+	s.pushFront(n)
+}
+
+// Server is the TCP cache server.
+type Server struct {
+	store    *store
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") holding up to capacity
+// items. It returns once the listener is bound; connections are handled in
+// background goroutines until Close.
+func Serve(addr string, capacity int) (*Server, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("kvserver: capacity must be >= 1, got %d", capacity)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &Server{store: newStore(capacity), listener: ln}
+	srv.wg.Add(1)
+	go srv.acceptLoop()
+	return srv, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the listener and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Stats reports (items, hits, misses).
+func (s *Server) Stats() (int, int64, int64) { return s.store.stats() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		if err := s.serveOne(r, w); err != nil {
+			if !errors.Is(err, io.EOF) && !s.closed.Load() {
+				fmt.Fprintf(w, "SERVER_ERROR %s\r\n", sanitise(err.Error()))
+				w.Flush()
+			}
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+var errQuit = errors.New("quit")
+
+func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
+	line, err := readLine(r)
+	if err != nil {
+		return err
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return fmt.Errorf("empty command")
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "SET":
+		if len(fields) != 3 {
+			return fmt.Errorf("SET wants <key> <nbytes>")
+		}
+		key := fields[1]
+		if len(key) > MaxKeyLen {
+			return fmt.Errorf("key too long")
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 0 || n > MaxValueSize {
+			return fmt.Errorf("bad length %q", fields[2])
+		}
+		value := make([]byte, n)
+		if _, err := io.ReadFull(r, value); err != nil {
+			return err
+		}
+		if err := expectCRLF(r); err != nil {
+			return err
+		}
+		s.store.set(key, value)
+		_, err = w.WriteString("STORED\r\n")
+		return err
+	case "GET":
+		if len(fields) != 2 {
+			return fmt.Errorf("GET wants <key>")
+		}
+		value, ok := s.store.get(fields[1])
+		if !ok {
+			_, err := w.WriteString("NOT_FOUND\r\n")
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "VALUE %d\r\n", len(value)); err != nil {
+			return err
+		}
+		if _, err := w.Write(value); err != nil {
+			return err
+		}
+		_, err := w.WriteString("\r\n")
+		return err
+	case "DEL":
+		if len(fields) != 2 {
+			return fmt.Errorf("DEL wants <key>")
+		}
+		if s.store.del(fields[1]) {
+			_, err := w.WriteString("DELETED\r\n")
+			return err
+		}
+		_, err := w.WriteString("NOT_FOUND\r\n")
+		return err
+	case "STATS":
+		items, hits, misses := s.store.stats()
+		_, err := fmt.Fprintf(w, "STATS %d %d %d\r\n", items, hits, misses)
+		return err
+	case "QUIT":
+		return errQuit
+	default:
+		return fmt.Errorf("unknown command %q", fields[0])
+	}
+}
+
+// readLine reads a \r\n- (or \n-) terminated line without the terminator.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func expectCRLF(r *bufio.Reader) error {
+	b := make([]byte, 2)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return err
+	}
+	if b[0] != '\r' || b[1] != '\n' {
+		return fmt.Errorf("payload not CRLF-terminated")
+	}
+	return nil
+}
+
+func sanitise(msg string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '\r' || r == '\n' {
+			return ' '
+		}
+		return r
+	}, msg)
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestStats(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("Mean = %g", Mean(xs))
+	}
+	if math.Abs(Std(xs)-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("Std = %g", Std(xs))
+	}
+	if Max(xs) != 4 || Min(xs) != 1 {
+		t.Fatal("Max/Min wrong")
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 {
+		t.Fatal("empty-input stats nonzero")
+	}
+	if Std([]float64{5}) != 0 {
+		t.Fatal("single-point std nonzero")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My Title", "Name", "Value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta") // short row padded
+	out := tb.String()
+	if !strings.Contains(out, "My Title") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Fatal("rows missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	// Columns align: both data rows start with padded first column.
+	if len(lines[3]) < len("alpha") {
+		t.Fatal("row truncated")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "A", "B", "C")
+	tb.AddRowf("x", 1.23456, 42)
+	row := tb.Rows[0]
+	if row[0] != "x" || row[1] != "1.23" || row[2] != "42" {
+		t.Fatalf("AddRowf formatting: %v", row)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow("has,comma", `has"quote`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"has,comma"`) {
+		t.Fatalf("comma cell not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"has""quote"`) {
+		t.Fatalf("quote cell not escaped: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "A,B\n") {
+		t.Fatalf("header wrong: %s", csv)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	out := RenderSeries("Curves", "Epoch", nil,
+		Series{Name: "a", Points: []float64{1, 2}},
+		Series{Name: "b", Points: []float64{3}},
+	)
+	if !strings.Contains(out, "Curves") || !strings.Contains(out, "Epoch") {
+		t.Fatal("header missing")
+	}
+	if !strings.Contains(out, "1.0000") || !strings.Contains(out, "3.0000") {
+		t.Fatal("points missing")
+	}
+}

@@ -1,0 +1,58 @@
+package nn
+
+import "testing"
+
+func TestProfileByName(t *testing.T) {
+	for _, want := range AllProfiles() {
+		got, err := ProfileByName(want.Name)
+		if err != nil {
+			t.Fatalf("ProfileByName(%q): %v", want.Name, err)
+		}
+		if got.Name != want.Name {
+			t.Fatalf("got %q", got.Name)
+		}
+	}
+	if _, err := ProfileByName("LeNet"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestProfilesMatchPaperTable1(t *testing.T) {
+	// Stage2 and IS columns come straight from the paper's Table 1.
+	cases := map[string]struct{ backwardMs, isMs int }{
+		"ResNet18": {35, 16},
+		"ResNet50": {37, 18},
+		"AlexNet":  {33, 35},
+		"VGG16":    {28, 31},
+	}
+	for _, p := range AllProfiles() {
+		want := cases[p.Name]
+		if int(p.BackwardCost.Milliseconds()) != want.backwardMs {
+			t.Errorf("%s Stage2 = %v, want %dms", p.Name, p.BackwardCost, want.backwardMs)
+		}
+		if int(p.ISCost.Milliseconds()) != want.isMs {
+			t.Errorf("%s IS = %v, want %dms", p.Name, p.ISCost, want.isMs)
+		}
+	}
+}
+
+func TestDeepOverlapModels(t *testing.T) {
+	// Fig 12(b): only AlexNet and VGG16 need the deeper pipeline.
+	for _, p := range AllProfiles() {
+		wantDeep := p.Name == "AlexNet" || p.Name == "VGG16"
+		if p.DeepOverlap != wantDeep {
+			t.Errorf("%s DeepOverlap = %v, want %v", p.Name, p.DeepOverlap, wantDeep)
+		}
+	}
+}
+
+func TestProfileEmbedDims(t *testing.T) {
+	for _, p := range AllProfiles() {
+		if p.EmbedDim <= 0 {
+			t.Errorf("%s has EmbedDim %d", p.Name, p.EmbedDim)
+		}
+		if p.ForwardCost <= 0 || p.BackwardCost <= 0 || p.ISCost <= 0 {
+			t.Errorf("%s has non-positive stage cost", p.Name)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package pq implements Product Quantization (Jégou et al.), the vector
+// compression scheme the paper pairs with HNSW to keep the ANN index small
+// (its Table 2: ~1000x compression on ImageNet-1K).
+//
+// A vector of dimension D is split into M contiguous sub-vectors; each
+// sub-space is vector-quantised by k-means with K centroids, so a vector is
+// stored as M centroid indexes (M bytes when K <= 256). Asymmetric distance
+// computation (ADC) estimates Euclidean distances between a raw query and a
+// code without decoding.
+package pq
+
+import (
+	"fmt"
+	"math"
+
+	"spidercache/internal/xrand"
+)
+
+// Config sizes the quantizer.
+type Config struct {
+	Subspaces int // M: number of sub-quantizers
+	Centroids int // K per subspace; <= 256 so codes fit in bytes
+	Iters     int // k-means iterations
+	Seed      uint64
+}
+
+// DefaultConfig compresses the repository's embedding vectors (dim 32-64) to
+// 8 bytes per vector.
+func DefaultConfig() Config {
+	return Config{Subspaces: 8, Centroids: 256, Iters: 15, Seed: 7}
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Subspaces < 1:
+		return fmt.Errorf("pq: Subspaces must be >= 1, got %d", c.Subspaces)
+	case c.Centroids < 2 || c.Centroids > 256:
+		return fmt.Errorf("pq: Centroids must be in [2,256], got %d", c.Centroids)
+	case c.Iters < 1:
+		return fmt.Errorf("pq: Iters must be >= 1, got %d", c.Iters)
+	}
+	return nil
+}
+
+// Quantizer is a trained product quantizer.
+type Quantizer struct {
+	cfg    Config
+	dim    int
+	subDim int
+	// codebooks[m] is a (K x subDim) row-major centroid table.
+	codebooks [][]float64
+}
+
+// Train fits codebooks on the sample vectors. All vectors must share a
+// dimensionality divisible by cfg.Subspaces, and there must be at least as
+// many training vectors as centroids.
+func Train(cfg Config, vectors [][]float64) (*Quantizer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("pq: no training vectors")
+	}
+	dim := len(vectors[0])
+	if dim%cfg.Subspaces != 0 {
+		return nil, fmt.Errorf("pq: dim %d not divisible by %d subspaces", dim, cfg.Subspaces)
+	}
+	if len(vectors) < cfg.Centroids {
+		return nil, fmt.Errorf("pq: %d training vectors < %d centroids", len(vectors), cfg.Centroids)
+	}
+	for i, v := range vectors {
+		if len(v) != dim {
+			return nil, fmt.Errorf("pq: vector %d has dim %d, want %d", i, len(v), dim)
+		}
+	}
+	q := &Quantizer{cfg: cfg, dim: dim, subDim: dim / cfg.Subspaces}
+	rng := xrand.New(cfg.Seed)
+	q.codebooks = make([][]float64, cfg.Subspaces)
+	sub := make([][]float64, len(vectors))
+	for m := 0; m < cfg.Subspaces; m++ {
+		lo := m * q.subDim
+		for i, v := range vectors {
+			sub[i] = v[lo : lo+q.subDim]
+		}
+		q.codebooks[m] = kmeans(sub, cfg.Centroids, cfg.Iters, q.subDim, rng)
+	}
+	return q, nil
+}
+
+// Dim returns the full vector dimensionality the quantizer was trained on.
+func (q *Quantizer) Dim() int { return q.dim }
+
+// CodeSize returns the bytes needed to store one encoded vector.
+func (q *Quantizer) CodeSize() int { return q.cfg.Subspaces }
+
+// Encode quantises vec into a fresh code of CodeSize bytes.
+func (q *Quantizer) Encode(vec []float64) ([]byte, error) {
+	if len(vec) != q.dim {
+		return nil, fmt.Errorf("pq: encode dim %d, want %d", len(vec), q.dim)
+	}
+	code := make([]byte, q.cfg.Subspaces)
+	for m := range code {
+		lo := m * q.subDim
+		code[m] = byte(q.nearest(m, vec[lo:lo+q.subDim]))
+	}
+	return code, nil
+}
+
+// Decode reconstructs the centroid approximation of a code.
+func (q *Quantizer) Decode(code []byte) ([]float64, error) {
+	if len(code) != q.cfg.Subspaces {
+		return nil, fmt.Errorf("pq: code size %d, want %d", len(code), q.cfg.Subspaces)
+	}
+	out := make([]float64, q.dim)
+	for m, c := range code {
+		cen := q.centroid(m, int(c))
+		copy(out[m*q.subDim:], cen)
+	}
+	return out, nil
+}
+
+// ADC returns the asymmetric (query is raw, target is coded) Euclidean
+// distance estimate.
+func (q *Quantizer) ADC(query []float64, code []byte) (float64, error) {
+	if len(query) != q.dim {
+		return 0, fmt.Errorf("pq: query dim %d, want %d", len(query), q.dim)
+	}
+	if len(code) != q.cfg.Subspaces {
+		return 0, fmt.Errorf("pq: code size %d, want %d", len(code), q.cfg.Subspaces)
+	}
+	var s float64
+	for m, c := range code {
+		cen := q.centroid(m, int(c))
+		sub := query[m*q.subDim : (m+1)*q.subDim]
+		for j, v := range sub {
+			d := v - cen[j]
+			s += d * d
+		}
+	}
+	return math.Sqrt(s), nil
+}
+
+func (q *Quantizer) centroid(m, k int) []float64 {
+	cb := q.codebooks[m]
+	return cb[k*q.subDim : (k+1)*q.subDim]
+}
+
+func (q *Quantizer) nearest(m int, sub []float64) int {
+	cb := q.codebooks[m]
+	best, bi := math.Inf(1), 0
+	for k := 0; k < q.cfg.Centroids; k++ {
+		cen := cb[k*q.subDim : (k+1)*q.subDim]
+		var s float64
+		for j, v := range sub {
+			d := v - cen[j]
+			s += d * d
+		}
+		if s < best {
+			best, bi = s, k
+		}
+	}
+	return bi
+}
+
+// kmeans runs Lloyd's algorithm with k-means++-style seeding (greedy farthest
+// spread from a random start) and returns a (k x dim) row-major table.
+func kmeans(points [][]float64, k, iters, dim int, rng *xrand.Rand) []float64 {
+	centroids := make([]float64, k*dim)
+	// Seed: first centroid random, the rest sampled proportional to squared
+	// distance from the nearest chosen centroid.
+	chosen := make([]int, 0, k)
+	chosen = append(chosen, rng.Intn(len(points)))
+	d2 := make([]float64, len(points))
+	for i := range d2 {
+		d2[i] = sq(points[i], points[chosen[0]])
+	}
+	for len(chosen) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		idx := 0
+		if total > 0 {
+			target := rng.Float64() * total
+			for i, d := range d2 {
+				target -= d
+				if target <= 0 {
+					idx = i
+					break
+				}
+			}
+		} else {
+			idx = rng.Intn(len(points))
+		}
+		chosen = append(chosen, idx)
+		for i := range d2 {
+			if d := sq(points[i], points[idx]); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	for c, p := range chosen {
+		copy(centroids[c*dim:], points[p])
+	}
+
+	assign := make([]int, len(points))
+	counts := make([]int, k)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, p := range points {
+			best, bi := math.Inf(1), 0
+			for c := 0; c < k; c++ {
+				cen := centroids[c*dim : (c+1)*dim]
+				var s float64
+				for j, v := range p {
+					d := v - cen[j]
+					s += d * d
+				}
+				if s < best {
+					best, bi = s, c
+				}
+			}
+			if assign[i] != bi {
+				assign[i] = bi
+				changed = true
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+		for i := range centroids {
+			centroids[i] = 0
+		}
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			cen := centroids[c*dim : (c+1)*dim]
+			for j, v := range p {
+				cen[j] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed empty clusters from a random point.
+				copy(centroids[c*dim:(c+1)*dim], points[rng.Intn(len(points))])
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			cen := centroids[c*dim : (c+1)*dim]
+			for j := range cen {
+				cen[j] *= inv
+			}
+		}
+	}
+	return centroids
+}
+
+func sq(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}

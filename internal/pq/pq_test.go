@@ -1,0 +1,192 @@
+package pq
+
+import (
+	"math"
+	"testing"
+
+	"spidercache/internal/xrand"
+)
+
+func trainingVecs(n, dim int, seed uint64) [][]float64 {
+	rng := xrand.New(seed)
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func smallConfig() Config {
+	return Config{Subspaces: 4, Centroids: 16, Iters: 10, Seed: 1}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Subspaces: 0, Centroids: 16, Iters: 5},
+		{Subspaces: 4, Centroids: 1, Iters: 5},
+		{Subspaces: 4, Centroids: 300, Iters: 5},
+		{Subspaces: 4, Centroids: 16, Iters: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(smallConfig(), nil); err == nil {
+		t.Error("no training vectors accepted")
+	}
+	if _, err := Train(smallConfig(), trainingVecs(100, 6, 1)); err == nil {
+		t.Error("indivisible dimension accepted")
+	}
+	if _, err := Train(smallConfig(), trainingVecs(8, 8, 1)); err == nil {
+		t.Error("fewer vectors than centroids accepted")
+	}
+	vecs := trainingVecs(100, 8, 1)
+	vecs[50] = vecs[50][:4]
+	if _, err := Train(smallConfig(), vecs); err == nil {
+		t.Error("ragged vectors accepted")
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	vecs := trainingVecs(500, 8, 2)
+	q, err := Train(smallConfig(), vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.CodeSize() != 4 || q.Dim() != 8 {
+		t.Fatalf("CodeSize=%d Dim=%d", q.CodeSize(), q.Dim())
+	}
+	var errSum, normSum float64
+	for _, v := range vecs[:100] {
+		code, err := q.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := q.Decode(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range v {
+			d := v[j] - dec[j]
+			errSum += d * d
+			normSum += v[j] * v[j]
+		}
+	}
+	if rel := errSum / normSum; rel > 0.5 {
+		t.Fatalf("relative reconstruction error %.3f too high", rel)
+	}
+}
+
+func TestADCApproximatesTrueDistance(t *testing.T) {
+	vecs := trainingVecs(500, 8, 3)
+	q, _ := Train(smallConfig(), vecs)
+	query := trainingVecs(1, 8, 4)[0]
+	var relErrSum float64
+	n := 0
+	for _, v := range vecs[:100] {
+		code, _ := q.Encode(v)
+		adc, err := q.ADC(query, code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for j := range v {
+			d := query[j] - v[j]
+			s += d * d
+		}
+		truth := math.Sqrt(s)
+		if truth > 0.5 {
+			relErrSum += math.Abs(adc-truth) / truth
+			n++
+		}
+	}
+	if rel := relErrSum / float64(n); rel > 0.35 {
+		t.Fatalf("mean ADC relative error %.3f too high", rel)
+	}
+}
+
+func TestADCPreservesRanking(t *testing.T) {
+	// Near points must rank below far points under ADC.
+	vecs := trainingVecs(500, 8, 5)
+	q, _ := Train(smallConfig(), vecs)
+	query := vecs[0]
+	near := vecs[0]
+	far := make([]float64, 8)
+	for j := range far {
+		far[j] = query[j] + 10
+	}
+	nearCode, _ := q.Encode(near)
+	farCode, _ := q.Encode(far)
+	dn, _ := q.ADC(query, nearCode)
+	df, _ := q.ADC(query, farCode)
+	if dn >= df {
+		t.Fatalf("ADC ranking broken: near %g, far %g", dn, df)
+	}
+}
+
+func TestEncodeDecodeValidation(t *testing.T) {
+	q, _ := Train(smallConfig(), trainingVecs(200, 8, 6))
+	if _, err := q.Encode(make([]float64, 7)); err == nil {
+		t.Error("wrong-dim encode accepted")
+	}
+	if _, err := q.Decode(make([]byte, 3)); err == nil {
+		t.Error("wrong-size decode accepted")
+	}
+	if _, err := q.ADC(make([]float64, 7), make([]byte, 4)); err == nil {
+		t.Error("wrong-dim ADC query accepted")
+	}
+	if _, err := q.ADC(make([]float64, 8), make([]byte, 5)); err == nil {
+		t.Error("wrong-size ADC code accepted")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	vecs := trainingVecs(300, 8, 7)
+	a, _ := Train(smallConfig(), vecs)
+	b, _ := Train(smallConfig(), vecs)
+	ca, _ := a.Encode(vecs[3])
+	cb, _ := b.Encode(vecs[3])
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatal("same-seed training produced different codebooks")
+		}
+	}
+}
+
+func TestClusteredDataCompressesWell(t *testing.T) {
+	// Vectors drawn from 16 tight clusters should be near-exactly
+	// representable by 16 centroids per subspace.
+	rng := xrand.New(8)
+	centers := trainingVecs(16, 8, 9)
+	vecs := make([][]float64, 400)
+	for i := range vecs {
+		c := centers[rng.Intn(16)]
+		v := make([]float64, 8)
+		for j := range v {
+			v[j] = c[j] + rng.NormFloat64()*0.01
+		}
+		vecs[i] = v
+	}
+	q, _ := Train(smallConfig(), vecs)
+	var errSum, normSum float64
+	for _, v := range vecs[:50] {
+		code, _ := q.Encode(v)
+		dec, _ := q.Decode(code)
+		for j := range v {
+			d := v[j] - dec[j]
+			errSum += d * d
+			normSum += v[j] * v[j]
+		}
+	}
+	if rel := errSum / normSum; rel > 0.05 {
+		t.Fatalf("clustered data reconstruction error %.4f, want < 0.05", rel)
+	}
+}

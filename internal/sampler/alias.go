@@ -1,0 +1,77 @@
+package sampler
+
+import "spidercache/internal/xrand"
+
+// Alias is a Walker alias table for O(1) categorical sampling — the
+// mechanism behind this repository's torch.multinomial equivalent.
+type Alias struct {
+	prob  []float64
+	alias []int
+	rng   *xrand.Rand
+}
+
+// NewAlias builds an alias table from unnormalised non-negative weights.
+// All-zero weight vectors degrade to uniform sampling.
+func NewAlias(weights []float64, rng *xrand.Rand) *Alias {
+	n := len(weights)
+	a := &Alias{prob: make([]float64, n), alias: make([]int, n), rng: rng}
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total == 0 {
+		for i := range a.prob {
+			a.prob[i] = 1
+			a.alias[i] = i
+		}
+		return a
+	}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		scaled[i] = w / total * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// Draw samples one index from the table.
+func (a *Alias) Draw() int {
+	i := a.rng.Intn(len(a.prob))
+	if a.rng.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

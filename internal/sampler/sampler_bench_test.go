@@ -1,0 +1,48 @@
+package sampler
+
+import (
+	"testing"
+
+	"spidercache/internal/xrand"
+)
+
+func BenchmarkAliasBuild(b *testing.B) {
+	rng := xrand.New(1)
+	weights := make([]float64, 4000)
+	for i := range weights {
+		weights[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewAlias(weights, rng)
+	}
+}
+
+func BenchmarkAliasDraw(b *testing.B) {
+	rng := xrand.New(1)
+	weights := make([]float64, 4000)
+	for i := range weights {
+		weights[i] = rng.Float64()
+	}
+	tab := NewAlias(weights, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Draw()
+	}
+}
+
+func BenchmarkMultinomialEpochOrder(b *testing.B) {
+	m, _ := NewMultinomial(4000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EpochOrder(i)
+	}
+}
+
+func BenchmarkUniformEpochOrder(b *testing.B) {
+	u, _ := NewUniform(4000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.EpochOrder(i)
+	}
+}

@@ -1,0 +1,276 @@
+package sampler
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spidercache/internal/xrand"
+)
+
+func TestUniformIsPermutation(t *testing.T) {
+	u, err := NewUniform(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 0; epoch < 5; epoch++ {
+		order := u.EpochOrder(epoch)
+		if len(order) != 100 {
+			t.Fatalf("order length %d", len(order))
+		}
+		seen := make([]bool, 100)
+		for _, id := range order {
+			if seen[id] {
+				t.Fatalf("epoch %d: duplicate id %d", epoch, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestUniformShufflesAcrossEpochs(t *testing.T) {
+	u, _ := NewUniform(100, 2)
+	a := u.EpochOrder(0)
+	b := u.EpochOrder(1)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Fatalf("epochs too similar: %d/100 positions equal", same)
+	}
+}
+
+func TestUniformValidation(t *testing.T) {
+	if _, err := NewUniform(0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestMultinomialFollowsWeights(t *testing.T) {
+	const n = 4
+	m, err := NewMultinomial(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetSmoothing(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetWeights([]float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	const epochs = 2000
+	for e := 0; e < epochs; e++ {
+		for _, id := range m.EpochOrder(e) {
+			counts[id]++
+		}
+	}
+	total := float64(epochs * n)
+	for i, c := range counts {
+		want := float64(i+1) / 10
+		got := float64(c) / total
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("id %d: frequency %.3f, want %.3f", i, got, want)
+		}
+	}
+}
+
+func TestMultinomialSmoothingBoundsConcentration(t *testing.T) {
+	m, _ := NewMultinomial(2, 4)
+	m.SetWeights([]float64{0.0001, 1}) // floored to minWeight
+	m.SetSmoothing(1)
+	counts := make([]int, 2)
+	for e := 0; e < 3000; e++ {
+		for _, id := range m.EpochOrder(e) {
+			counts[id]++
+		}
+	}
+	// With smoothing 1 and weights ~(0, 1): eff = (0.5, 1.5) -> 25%/75%.
+	frac := float64(counts[0]) / float64(counts[0]+counts[1])
+	if math.Abs(frac-0.25) > 0.03 {
+		t.Fatalf("smoothed low-weight frequency %.3f, want ~0.25", frac)
+	}
+}
+
+func TestMultinomialValidation(t *testing.T) {
+	if _, err := NewMultinomial(0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	m, _ := NewMultinomial(3, 1)
+	if err := m.SetWeights([]float64{1, 2}); err == nil {
+		t.Fatal("wrong-length weights accepted")
+	}
+	if err := m.SetSmoothing(-1); err == nil {
+		t.Fatal("negative smoothing accepted")
+	}
+}
+
+func TestMultinomialWeightFloor(t *testing.T) {
+	m, _ := NewMultinomial(2, 5)
+	m.SetWeight(0, 0)
+	if m.Weights()[0] <= 0 {
+		t.Fatal("weight floor not applied")
+	}
+}
+
+func TestAliasMatchesLinearScan(t *testing.T) {
+	weights := []float64{0.5, 0, 3, 1.5, 2}
+	rng := xrand.New(6)
+	a := NewAlias(weights, rng)
+	counts := make([]int, len(weights))
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[a.Draw()]++
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("alias id %d: %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestAliasAllZeroWeights(t *testing.T) {
+	a := NewAlias([]float64{0, 0, 0}, xrand.New(7))
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[a.Draw()]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)/30000-1.0/3) > 0.02 {
+			t.Errorf("degenerate alias id %d frequency %.3f", i, float64(c)/30000)
+		}
+	}
+}
+
+func TestAliasNegativeWeightsClamped(t *testing.T) {
+	a := NewAlias([]float64{-5, 1}, xrand.New(8))
+	for i := 0; i < 10000; i++ {
+		if a.Draw() == 0 {
+			t.Fatal("negative-weight index drawn")
+		}
+	}
+}
+
+func TestLossBasedPrioritisesHighLoss(t *testing.T) {
+	lb, err := NewLossBased(3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb.ObserveLoss(0, 0.01)
+	lb.ObserveLoss(1, 5.0)
+	lb.ObserveLoss(2, 0.01)
+	counts := make([]int, 3)
+	for e := 0; e < 3000; e++ {
+		for _, id := range lb.EpochOrder(e) {
+			counts[id]++
+		}
+	}
+	if counts[1] <= counts[0] || counts[1] <= counts[2] {
+		t.Fatalf("high-loss sample not prioritised: %v", counts)
+	}
+}
+
+func TestLossBasedUnseenPrior(t *testing.T) {
+	lb, _ := NewLossBased(2, 10)
+	lb.ObserveLoss(0, 2.0)
+	lb.EpochOrder(0) // triggers prior refresh
+	if w := lb.Weight(1); math.Abs(w-2.0) > 1e-9 {
+		t.Fatalf("unseen prior weight %g, want 2.0 (mean observed loss)", w)
+	}
+}
+
+func TestSelectiveUniformOrder(t *testing.T) {
+	s, err := NewSelective(50, 0.4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := s.EpochOrder(0)
+	seen := make([]bool, 50)
+	for _, id := range order {
+		if seen[id] {
+			t.Fatal("selective order not a permutation")
+		}
+		seen[id] = true
+	}
+}
+
+func TestSelectiveValidation(t *testing.T) {
+	if _, err := NewSelective(10, 1.0, 1); err == nil {
+		t.Fatal("skipFrac=1 accepted")
+	}
+	if _, err := NewSelective(10, -0.1, 1); err == nil {
+		t.Fatal("negative skipFrac accepted")
+	}
+}
+
+func TestSkipLowestLoss(t *testing.T) {
+	losses := []float64{0.5, 0.1, 0.9, 0.3}
+	w := SkipLowestLoss(losses, 0.5) // skip 2 lowest: ids 1 and 3
+	if w[1] != 0 || w[3] != 0 {
+		t.Fatalf("lowest-loss entries not skipped: %v", w)
+	}
+	if w[0] == 0 || w[2] == 0 {
+		t.Fatalf("kept entries zeroed: %v", w)
+	}
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("kept weights sum to %g", sum)
+	}
+}
+
+func TestSkipLowestLossEdgeCases(t *testing.T) {
+	if w := SkipLowestLoss(nil, 0.5); w != nil {
+		t.Fatal("nil losses produced weights")
+	}
+	if w := SkipLowestLoss([]float64{1, 2}, 0.1); w != nil {
+		t.Fatal("skip count 0 should return nil (train all)")
+	}
+}
+
+// Property: SkipLowestLoss always skips exactly floor(frac*n) samples and
+// never a sample with higher loss than a kept one.
+func TestSkipLowestLossProperty(t *testing.T) {
+	check := func(seed uint16) bool {
+		rng := xrand.New(uint64(seed))
+		n := 2 + rng.Intn(40)
+		losses := make([]float64, n)
+		for i := range losses {
+			losses[i] = rng.Float64()
+		}
+		frac := rng.Float64() * 0.9
+		w := SkipLowestLoss(losses, frac)
+		wantSkip := int(float64(n) * frac)
+		if w == nil {
+			return wantSkip == 0
+		}
+		var maxSkipped float64 = -1
+		minKept := math.Inf(1)
+		skipped := 0
+		for i, wi := range w {
+			if wi == 0 {
+				skipped++
+				if losses[i] > maxSkipped {
+					maxSkipped = losses[i]
+				}
+			} else if losses[i] < minKept {
+				minKept = losses[i]
+			}
+		}
+		return skipped == wantSkip && maxSkipped <= minKept
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

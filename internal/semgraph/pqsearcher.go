@@ -1,0 +1,153 @@
+package semgraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spidercache/internal/hnsw"
+	"spidercache/internal/pq"
+)
+
+// PQSearcher is a NeighborSearcher that stores vectors as Product
+// Quantization codes and answers kNN queries with asymmetric distance
+// computation — the memory-frugal configuration the paper's overhead
+// analysis (Section 5, Table 2) pairs with HNSW for billion-scale corpora.
+//
+// The quantizer is trained lazily on the first TrainAfter distinct vectors
+// (stored raw until then), after which all raw vectors are converted to
+// codes and new upserts are encoded on arrival. Search is an exhaustive ADC
+// scan; at the repository's simulation scales this is fast enough, and it
+// isolates exactly the accuracy cost of quantisation for the ablation
+// benchmarks (the HNSW-over-codes composition used in production systems
+// changes recall, not the quantisation error studied here).
+type PQSearcher struct {
+	cfg        pq.Config
+	trainAfter int
+
+	quant *pq.Quantizer
+	ids   []int
+	slot  map[int]int
+	raw   [][]float64 // until trained
+	codes [][]byte    // after training
+}
+
+// NewPQSearcher creates a searcher that trains its codebooks once
+// trainAfter distinct vectors have been observed (minimum: cfg.Centroids).
+func NewPQSearcher(cfg pq.Config, trainAfter int) (*PQSearcher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if trainAfter < cfg.Centroids {
+		return nil, fmt.Errorf("semgraph: trainAfter %d < centroids %d", trainAfter, cfg.Centroids)
+	}
+	return &PQSearcher{cfg: cfg, trainAfter: trainAfter, slot: make(map[int]int)}, nil
+}
+
+// Trained reports whether the codebooks have been fitted.
+func (p *PQSearcher) Trained() bool { return p.quant != nil }
+
+// Len reports how many points are indexed.
+func (p *PQSearcher) Len() int { return len(p.ids) }
+
+// MemoryBytes estimates resident size (codes or raw vectors plus IDs).
+func (p *PQSearcher) MemoryBytes() int64 {
+	var total int64
+	for _, r := range p.raw {
+		total += int64(len(r)) * 8
+	}
+	for _, c := range p.codes {
+		total += int64(len(c))
+	}
+	return total + int64(len(p.ids))*8
+}
+
+// Upsert inserts or replaces the vector stored under id.
+func (p *PQSearcher) Upsert(id int, vec []float64) error {
+	owned := make([]float64, len(vec))
+	copy(owned, vec)
+	s, exists := p.slot[id]
+	if !exists {
+		s = len(p.ids)
+		p.slot[id] = s
+		p.ids = append(p.ids, id)
+		p.raw = append(p.raw, nil)
+		p.codes = append(p.codes, nil)
+	}
+	if p.quant == nil {
+		p.raw[s] = owned
+		if len(p.ids) >= p.trainAfter {
+			return p.train()
+		}
+		return nil
+	}
+	code, err := p.quant.Encode(owned)
+	if err != nil {
+		return err
+	}
+	p.codes[s] = code
+	p.raw[s] = nil
+	return nil
+}
+
+func (p *PQSearcher) train() error {
+	vecs := make([][]float64, 0, len(p.raw))
+	for _, r := range p.raw {
+		if r != nil {
+			vecs = append(vecs, r)
+		}
+	}
+	q, err := pq.Train(p.cfg, vecs)
+	if err != nil {
+		return err
+	}
+	p.quant = q
+	for s, r := range p.raw {
+		if r == nil {
+			continue
+		}
+		code, err := q.Encode(r)
+		if err != nil {
+			return err
+		}
+		p.codes[s] = code
+		p.raw[s] = nil
+	}
+	return nil
+}
+
+// SearchKNN returns the k nearest indexed points by (exact or ADC) distance.
+func (p *PQSearcher) SearchKNN(q []float64, k int) []hnsw.Result {
+	if k <= 0 || len(p.ids) == 0 {
+		return nil
+	}
+	res := make([]hnsw.Result, 0, len(p.ids))
+	for s, id := range p.ids {
+		var d float64
+		if p.codes[s] != nil {
+			adc, err := p.quant.ADC(q, p.codes[s])
+			if err != nil {
+				continue
+			}
+			d = adc
+		} else {
+			var sum float64
+			for j, qv := range q {
+				diff := qv - p.raw[s][j]
+				sum += diff * diff
+			}
+			d = math.Sqrt(sum)
+		}
+		res = append(res, hnsw.Result{ID: id, Dist: d})
+	}
+	sort.Slice(res, func(a, b int) bool {
+		if res[a].Dist != res[b].Dist {
+			return res[a].Dist < res[b].Dist
+		}
+		return res[a].ID < res[b].ID
+	})
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}

@@ -1,0 +1,140 @@
+package semgraph
+
+import (
+	"testing"
+
+	"spidercache/internal/pq"
+	"spidercache/internal/xrand"
+)
+
+func pqConfig() pq.Config {
+	return pq.Config{Subspaces: 4, Centroids: 16, Iters: 8, Seed: 1}
+}
+
+func TestPQSearcherValidation(t *testing.T) {
+	if _, err := NewPQSearcher(pq.Config{}, 100); err == nil {
+		t.Fatal("invalid pq config accepted")
+	}
+	if _, err := NewPQSearcher(pqConfig(), 4); err == nil {
+		t.Fatal("trainAfter below centroid count accepted")
+	}
+}
+
+func TestPQSearcherLifecycle(t *testing.T) {
+	s, err := NewPQSearcher(pqConfig(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(2)
+	vecs := make([][]float64, 200)
+	for i := range vecs {
+		v := make([]float64, 8)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		vecs[i] = v
+		if err := s.Upsert(i, v); err != nil {
+			t.Fatal(err)
+		}
+		if i == 10 && s.Trained() {
+			t.Fatal("trained before threshold")
+		}
+	}
+	if !s.Trained() {
+		t.Fatal("never trained")
+	}
+	if s.Len() != 200 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// A point must be its own (approximate) nearest neighbour most of the
+	// time; PQ quantisation can swap very close points, so check top-3.
+	hits := 0
+	for i := 0; i < 50; i++ {
+		for _, r := range s.SearchKNN(vecs[i], 3) {
+			if r.ID == i {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < 40 {
+		t.Fatalf("self-recall@3 = %d/50", hits)
+	}
+}
+
+func TestPQSearcherCompression(t *testing.T) {
+	s, _ := NewPQSearcher(pqConfig(), 32)
+	rng := xrand.New(3)
+	for i := 0; i < 300; i++ {
+		v := make([]float64, 8)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		s.Upsert(i, v)
+	}
+	raw := int64(300 * 8 * 8)
+	if mem := s.MemoryBytes(); mem >= raw/2 {
+		t.Fatalf("PQ memory %d not well below raw %d", mem, raw)
+	}
+}
+
+func TestPQSearcherUpsertReplace(t *testing.T) {
+	s, _ := NewPQSearcher(pqConfig(), 32)
+	rng := xrand.New(4)
+	for i := 0; i < 100; i++ {
+		v := make([]float64, 8)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		s.Upsert(i, v)
+	}
+	far := []float64{9, 9, 9, 9, 9, 9, 9, 9}
+	if err := s.Upsert(5, far); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 100 {
+		t.Fatalf("replace grew index to %d", s.Len())
+	}
+	res := s.SearchKNN(far, 1)
+	if len(res) == 0 || res[0].ID != 5 {
+		t.Fatalf("moved point not found: %+v", res)
+	}
+}
+
+// TestGrapherOverPQSearcher runs the scoring pipeline over the quantised
+// searcher end to end.
+func TestGrapherOverPQSearcher(t *testing.T) {
+	labels := make([]int, 120)
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	s, _ := NewPQSearcher(pqConfig(), 32)
+	g, err := New(DefaultConfig(), labels, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(5)
+	vecs := make([][]float64, 120)
+	for i := range vecs {
+		base := float64(labels[i])
+		v := make([]float64, 8)
+		for j := range v {
+			v[j] = base + rng.NormFloat64()*0.1
+		}
+		vecs[i] = v
+		if err := g.Update(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 120; i += 10 {
+		if _, err := g.Score(i, vecs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.ScoredCount() != 12 {
+		t.Fatalf("ScoredCount = %d", g.ScoredCount())
+	}
+	if g.ScoreMean() <= 0 {
+		t.Fatal("no scores produced over PQ searcher")
+	}
+}

@@ -1,0 +1,305 @@
+// Package semgraph implements the paper's Graph-based Importance Score
+// Algorithm (Section 4.1).
+//
+// Each training sample is a node; its position is the embedding produced by
+// the model's feature-extraction layer. Approximate nearest neighbours come
+// from an ANN searcher (HNSW by default). Two samples are joined by an edge
+// when their similarity sim(x,y) = exp(-λ·d(x,y)) exceeds a threshold α
+// (Eqs. 2-3). For each scored sample the counts x_same (same-class
+// neighbours) and x_other (different-class neighbours) yield the global
+// importance score of Eq. 4:
+//
+//	score(x) = ln(1/x_same + x_other/neighborMax + 1)
+//
+// The sample itself counts as one same-class neighbour so x_same >= 1 and
+// the score stays finite (hnswlib likewise returns the query point when it
+// is indexed). The graph is transient: only scores and the per-batch
+// top-degree node's neighbour list are retained, exactly as the paper's
+// overhead analysis (Section 5) prescribes.
+package semgraph
+
+import (
+	"fmt"
+	"math"
+
+	"spidercache/internal/hnsw"
+)
+
+// NeighborSearcher abstracts the ANN index so exact brute-force search can
+// be swapped in for recall tests and ablation benchmarks.
+type NeighborSearcher interface {
+	// Upsert inserts or replaces the vector stored under id.
+	Upsert(id int, vec []float64) error
+	// SearchKNN returns up to k nearest indexed points to q with Euclidean
+	// distances, nearest first.
+	SearchKNN(q []float64, k int) []hnsw.Result
+	// Len reports how many points are indexed.
+	Len() int
+}
+
+// Config tunes the scoring algorithm.
+type Config struct {
+	Lambda      float64 // similarity decay rate (Eq. 2)
+	Alpha       float64 // edge threshold on similarity (Eq. 3)
+	NeighborMax int     // normaliser in Eq. 4; the paper uses HNSW's default 500
+	K           int     // neighbours retrieved per scored sample
+	// HomAlpha is the stricter similarity bar a neighbour must clear to
+	// enter a high-degree node's stored neighbour list (the Homophily
+	// Cache's substitution set). Edges at Alpha capture class structure
+	// for scoring; substitution additionally requires near-duplicate
+	// similarity, per the paper's argument that replacing a sample is safe
+	// only for "duplicate or highly similar" counterparts.
+	HomAlpha float64
+}
+
+// DefaultConfig matches the paper's described settings, with K sized for the
+// scaled-down datasets. Lambda/Alpha are calibrated for unit-normalised
+// embeddings (pairwise distances in [0, 2]): the edge threshold
+// -ln(Alpha)/Lambda ≈ 1.05 connects samples within roughly a 60° angle.
+//
+// NeighborMax normalises the x_other term of Eq. 4 by the maximum possible
+// neighbour count. The paper uses hnswlib's default of 500 because its
+// neighbour lists can grow that long; here lists are capped at K, so the
+// equivalent normaliser is K — it keeps Part2 in [0, 1] exactly as in the
+// paper's setting.
+func DefaultConfig() Config {
+	return Config{Lambda: 1.0, Alpha: 0.35, NeighborMax: 24, K: 24, HomAlpha: 0.65}
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Lambda <= 0:
+		return fmt.Errorf("semgraph: Lambda must be positive, got %g", c.Lambda)
+	case c.Alpha <= 0 || c.Alpha >= 1:
+		return fmt.Errorf("semgraph: Alpha must be in (0,1), got %g", c.Alpha)
+	case c.NeighborMax < 1:
+		return fmt.Errorf("semgraph: NeighborMax must be >= 1, got %d", c.NeighborMax)
+	case c.K < 1:
+		return fmt.Errorf("semgraph: K must be >= 1, got %d", c.K)
+	case c.HomAlpha < c.Alpha || c.HomAlpha >= 1:
+		return fmt.Errorf("semgraph: HomAlpha must be in [Alpha,1), got %g", c.HomAlpha)
+	}
+	return nil
+}
+
+// ScoreResult is the outcome of scoring one sample.
+type ScoreResult struct {
+	ID        int
+	Score     float64
+	Same      int   // same-class graph neighbours (includes self)
+	Other     int   // different-class graph neighbours
+	Neighbors []int // IDs of edge-connected neighbours, self excluded
+	// CloseNeighbors is the subset of Neighbors above the stricter
+	// HomAlpha similarity bar and sharing this node's class — the IDs this
+	// node may substitute for when installed into the Homophily Cache.
+	// (A substitute with a different label would silently change the
+	// supervision signal; "duplicate or highly similar" samples in the
+	// paper's sense are same-class by construction.)
+	CloseNeighbors []int
+}
+
+// Degree returns the node's edge count (self excluded).
+func (r ScoreResult) Degree() int { return len(r.Neighbors) }
+
+// Grapher maintains global importance scores over the training set.
+type Grapher struct {
+	cfg      Config
+	searcher NeighborSearcher
+	labels   []int
+	scores   []float64
+	scored   []bool
+	// distance thresholds equivalent to sim > alpha (resp. homAlpha):
+	// d < -ln(alpha)/lambda.
+	distThresh    float64
+	homDistThresh float64
+}
+
+// New builds a Grapher over a dataset with the given per-sample labels.
+// searcher starts empty and is populated by Update calls as batches flow
+// through training.
+func New(cfg Config, labels []int, searcher NeighborSearcher) (*Grapher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if searcher == nil {
+		return nil, fmt.Errorf("semgraph: searcher must not be nil")
+	}
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("semgraph: empty label set")
+	}
+	return &Grapher{
+		cfg:           cfg,
+		searcher:      searcher,
+		labels:        labels,
+		scores:        make([]float64, len(labels)),
+		scored:        make([]bool, len(labels)),
+		distThresh:    -math.Log(cfg.Alpha) / cfg.Lambda,
+		homDistThresh: -math.Log(cfg.HomAlpha) / cfg.Lambda,
+	}, nil
+}
+
+// Similarity computes Eq. 2 for a given Euclidean distance.
+func (g *Grapher) Similarity(dist float64) float64 {
+	return math.Exp(-g.cfg.Lambda * dist)
+}
+
+// Normalize returns the L2-normalised copy of vec that the grapher indexes
+// and scores. Normalisation puts every embedding on the unit sphere so the
+// similarity decay (Eq. 2) and edge threshold (Eq. 3) operate on a bounded,
+// architecture-independent distance scale — the same reason cosine distance
+// is the default in embedding retrieval systems. Zero vectors are returned
+// unchanged.
+func Normalize(vec []float64) []float64 {
+	out := make([]float64, len(vec))
+	var n float64
+	for _, v := range vec {
+		n += v * v
+	}
+	if n == 0 {
+		copy(out, vec)
+		return out
+	}
+	n = 1 / math.Sqrt(n)
+	for i, v := range vec {
+		out[i] = v * n
+	}
+	return out
+}
+
+// Update inserts or refreshes the embedding of sample id in the ANN index
+// (line 15 of the paper's Algorithm 1). The embedding is L2-normalised
+// before indexing.
+func (g *Grapher) Update(id int, embedding []float64) error {
+	if id < 0 || id >= len(g.labels) {
+		return fmt.Errorf("semgraph: id %d out of range [0,%d)", id, len(g.labels))
+	}
+	return g.searcher.Upsert(id, Normalize(embedding))
+}
+
+// Score computes the global importance of sample id from its current
+// embedding (lines 16-21 of Algorithm 1) and records it in the global score
+// table. The embedding passed is the one just produced by the forward pass.
+func (g *Grapher) Score(id int, embedding []float64) (ScoreResult, error) {
+	if id < 0 || id >= len(g.labels) {
+		return ScoreResult{}, fmt.Errorf("semgraph: id %d out of range [0,%d)", id, len(g.labels))
+	}
+	res := ScoreResult{ID: id, Same: 1} // self counts as a same-class neighbour
+	hits := g.searcher.SearchKNN(Normalize(embedding), g.cfg.K)
+	for _, h := range hits {
+		if h.ID == id {
+			continue
+		}
+		if h.Dist >= g.distThresh { // sim(x,y) <= alpha: no edge
+			continue
+		}
+		res.Neighbors = append(res.Neighbors, h.ID)
+		if g.labels[h.ID] == g.labels[id] {
+			res.Same++
+			if h.Dist < g.homDistThresh {
+				res.CloseNeighbors = append(res.CloseNeighbors, h.ID)
+			}
+		} else {
+			res.Other++
+		}
+	}
+	res.Score = math.Log(1/float64(res.Same) + float64(res.Other)/float64(g.cfg.NeighborMax) + 1)
+	g.scores[id] = res.Score
+	g.scored[id] = true
+	return res, nil
+}
+
+// ScoreOf returns the last recorded global score for id (0 before the first
+// scoring pass touches it).
+func (g *Grapher) ScoreOf(id int) float64 { return g.scores[id] }
+
+// Scores returns the global score table, indexed by sample ID. The returned
+// slice is live; callers must not mutate it.
+func (g *Grapher) Scores() []float64 { return g.scores }
+
+// ScoredCount reports how many samples have been scored at least once.
+func (g *Grapher) ScoredCount() int {
+	n := 0
+	for _, s := range g.scored {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// ScoreMean returns the mean score over all scored samples (0 when none).
+func (g *Grapher) ScoreMean() float64 {
+	var sum, n float64
+	for i, ok := range g.scored {
+		if ok {
+			sum += g.scores[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// ScoreStd returns the standard deviation of the scores of all scored
+// samples — the σ the Elastic Cache Manager's Importance Monitor tracks
+// (Eq. 5). It returns 0 when fewer than two samples have been scored.
+func (g *Grapher) ScoreStd() float64 {
+	var sum, n float64
+	for i, ok := range g.scored {
+		if ok {
+			sum += g.scores[i]
+			n++
+		}
+	}
+	if n < 2 {
+		return 0
+	}
+	mean := sum / n
+	var ss float64
+	for i, ok := range g.scored {
+		if ok {
+			d := g.scores[i] - mean
+			ss += d * d
+		}
+	}
+	return math.Sqrt(ss / n)
+}
+
+// ExportScores returns a copy of the global score table (NaN marks samples
+// never scored), suitable for warm-starting a later run on the same dataset.
+func (g *Grapher) ExportScores() []float64 {
+	out := make([]float64, len(g.scores))
+	for i, ok := range g.scored {
+		if ok {
+			out[i] = g.scores[i]
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+// ImportScores seeds the global score table from a previous run's export.
+// NaN entries are skipped; length must match the dataset.
+func (g *Grapher) ImportScores(scores []float64) error {
+	if len(scores) != len(g.scores) {
+		return fmt.Errorf("semgraph: got %d scores for %d samples", len(scores), len(g.scores))
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) {
+			continue
+		}
+		g.scores[i] = s
+		g.scored[i] = true
+	}
+	return nil
+}
+
+// Len returns the number of samples the grapher tracks.
+func (g *Grapher) Len() int { return len(g.labels) }
+
+// K returns the configured neighbour count.
+func (g *Grapher) K() int { return g.cfg.K }

@@ -1,0 +1,294 @@
+package semgraph
+
+import (
+	"math"
+	"testing"
+
+	"spidercache/internal/hnsw"
+	"spidercache/internal/xrand"
+)
+
+// buildClustered indexes two well-separated class clusters plus one
+// misclassified point and returns (grapher, labels).
+// Layout (2-D, pre-normalisation):
+//
+//	class 0: tight cluster around (1, 0)
+//	class 1: tight cluster around (0, 1)
+//	sample 20 ("misclassified"): label 0 but embedded inside class 1
+func buildClustered(t *testing.T) *Grapher {
+	t.Helper()
+	labels := make([]int, 21)
+	for i := 10; i < 20; i++ {
+		labels[i] = 1
+	}
+	labels[20] = 0
+	g, err := New(DefaultConfig(), labels, NewBruteSearcher())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(1)
+	emb := func(cx, cy float64) []float64 {
+		return []float64{cx + rng.NormFloat64()*0.05, cy + rng.NormFloat64()*0.05}
+	}
+	for i := 0; i < 10; i++ {
+		if err := g.Update(i, emb(1, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 10; i < 20; i++ {
+		if err := g.Update(i, emb(0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Update(20, emb(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Lambda = 0 },
+		func(c *Config) { c.Alpha = 0 },
+		func(c *Config) { c.Alpha = 1 },
+		func(c *Config) { c.NeighborMax = 0 },
+		func(c *Config) { c.K = 0 },
+		func(c *Config) { c.HomAlpha = c.Alpha - 0.1 },
+		func(c *Config) { c.HomAlpha = 1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(DefaultConfig(), nil, NewBruteSearcher()); err == nil {
+		t.Fatal("empty labels accepted")
+	}
+	if _, err := New(DefaultConfig(), []int{0}, nil); err == nil {
+		t.Fatal("nil searcher accepted")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Normalize([]float64{3, 4})
+	if math.Abs(v[0]-0.6) > 1e-12 || math.Abs(v[1]-0.8) > 1e-12 {
+		t.Fatalf("Normalize = %v", v)
+	}
+	z := Normalize([]float64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatalf("zero vector changed: %v", z)
+	}
+	// Input must not be mutated.
+	in := []float64{2, 0}
+	Normalize(in)
+	if in[0] != 2 {
+		t.Fatal("Normalize mutated input")
+	}
+}
+
+func TestSimilarityDecay(t *testing.T) {
+	g, _ := New(DefaultConfig(), []int{0, 1}, NewBruteSearcher())
+	if s := g.Similarity(0); s != 1 {
+		t.Fatalf("sim(0) = %g", s)
+	}
+	if g.Similarity(1) >= g.Similarity(0.5) {
+		t.Fatal("similarity not decreasing in distance")
+	}
+}
+
+// TestScoreStates verifies the paper's Fig 8(b) state mapping: the
+// misclassified sample scores strictly highest, well-classified samples
+// strictly lowest.
+func TestScoreStates(t *testing.T) {
+	g := buildClustered(t)
+	// Replay the generator stream of buildClustered so each Score call uses
+	// exactly the embedding that was indexed for that sample.
+	results := make(map[int]ScoreResult)
+	rng := xrand.New(1)
+	emb := func(cx, cy float64) []float64 {
+		return []float64{cx + rng.NormFloat64()*0.05, cy + rng.NormFloat64()*0.05}
+	}
+	for i := 0; i < 10; i++ {
+		r, err := g.Score(i, emb(1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = r
+	}
+	for i := 10; i < 20; i++ {
+		r, _ := g.Score(i, emb(0, 1))
+		results[i] = r
+	}
+	mis, _ := g.Score(20, emb(0, 1))
+
+	for i := 0; i < 20; i++ {
+		if mis.Score <= results[i].Score {
+			t.Fatalf("misclassified score %.3f not above well-classified %.3f (id %d)",
+				mis.Score, results[i].Score, i)
+		}
+	}
+	if mis.Other == 0 {
+		t.Fatal("misclassified sample has no other-class neighbours")
+	}
+	if results[0].Same < 5 {
+		t.Fatalf("well-classified sample has only %d same-class neighbours", results[0].Same)
+	}
+}
+
+func TestScoreFormula(t *testing.T) {
+	// score = ln(1/same + other/neighborMax + 1) with same including self.
+	cfg := DefaultConfig()
+	g, _ := New(cfg, []int{0, 0, 1}, NewBruteSearcher())
+	g.Update(0, []float64{1, 0})
+	g.Update(1, []float64{1, 0.01})
+	g.Update(2, []float64{1, 0.02})
+	r, err := g.Score(0, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(1/float64(r.Same) + float64(r.Other)/float64(cfg.NeighborMax) + 1)
+	if math.Abs(r.Score-want) > 1e-12 {
+		t.Fatalf("score %.6f, formula gives %.6f", r.Score, want)
+	}
+	if g.ScoreOf(0) != r.Score {
+		t.Fatal("global table not updated")
+	}
+}
+
+func TestCloseNeighborsSameClassOnly(t *testing.T) {
+	g, _ := New(DefaultConfig(), []int{0, 0, 1}, NewBruteSearcher())
+	g.Update(0, []float64{1, 0})
+	g.Update(1, []float64{1, 0.001}) // near-duplicate, same class
+	g.Update(2, []float64{1, 0.002}) // near-duplicate, other class
+	r, _ := g.Score(0, []float64{1, 0})
+	foundSame, foundOther := false, false
+	for _, nb := range r.CloseNeighbors {
+		if nb == 1 {
+			foundSame = true
+		}
+		if nb == 2 {
+			foundOther = true
+		}
+	}
+	if !foundSame {
+		t.Fatal("same-class near-duplicate missing from CloseNeighbors")
+	}
+	if foundOther {
+		t.Fatal("other-class sample in CloseNeighbors")
+	}
+}
+
+func TestScoreRangeChecks(t *testing.T) {
+	g, _ := New(DefaultConfig(), []int{0, 1}, NewBruteSearcher())
+	if err := g.Update(5, []float64{1}); err == nil {
+		t.Fatal("out-of-range Update accepted")
+	}
+	if _, err := g.Score(-1, []float64{1}); err == nil {
+		t.Fatal("negative id accepted")
+	}
+}
+
+func TestScoreStdAndMean(t *testing.T) {
+	g := buildClustered(t)
+	if g.ScoreStd() != 0 || g.ScoreMean() != 0 {
+		t.Fatal("unscored grapher reports nonzero stats")
+	}
+	rng := xrand.New(2)
+	for i := 0; i < 21; i++ {
+		cx, cy := 1.0, 0.0
+		if i >= 10 {
+			cx, cy = 0, 1
+		}
+		g.Score(i, []float64{cx + rng.NormFloat64()*0.05, cy + rng.NormFloat64()*0.05})
+	}
+	if g.ScoredCount() != 21 {
+		t.Fatalf("ScoredCount = %d", g.ScoredCount())
+	}
+	if g.ScoreStd() <= 0 {
+		t.Fatal("σ of heterogeneous scores is zero")
+	}
+	if g.ScoreMean() <= 0 {
+		t.Fatal("mean score is zero")
+	}
+}
+
+func TestGrapherWithHNSWMatchesBrute(t *testing.T) {
+	labels := make([]int, 200)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	mk := func(s NeighborSearcher) *Grapher {
+		g, err := New(DefaultConfig(), labels, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	idx, _ := hnsw.New(hnsw.DefaultConfig())
+	gh := mk(idx)
+	gb := mk(NewBruteSearcher())
+
+	rng := xrand.New(3)
+	vecs := make([][]float64, 200)
+	for i := range vecs {
+		base := float64(labels[i])
+		vecs[i] = []float64{base + rng.NormFloat64()*0.1, -base + rng.NormFloat64()*0.1, rng.NormFloat64() * 0.1}
+		gh.Update(i, vecs[i])
+		gb.Update(i, vecs[i])
+	}
+	var diff, n float64
+	for i := 0; i < 200; i += 5 {
+		rh, _ := gh.Score(i, vecs[i])
+		rb, _ := gb.Score(i, vecs[i])
+		diff += math.Abs(rh.Score - rb.Score)
+		n++
+	}
+	if avg := diff / n; avg > 0.05 {
+		t.Fatalf("HNSW scores diverge from exact by %.4f on average", avg)
+	}
+}
+
+func TestBruteSearcherUpsertReplaces(t *testing.T) {
+	b := NewBruteSearcher()
+	b.Upsert(1, []float64{0, 0})
+	b.Upsert(1, []float64{5, 5})
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	res := b.SearchKNN([]float64{5, 5}, 1)
+	if res[0].Dist != 0 {
+		t.Fatal("vector not replaced")
+	}
+}
+
+func TestExportImportScores(t *testing.T) {
+	g, _ := New(DefaultConfig(), []int{0, 0, 1}, NewBruteSearcher())
+	g.Update(0, []float64{1, 0})
+	g.Update(1, []float64{1, 0.01})
+	g.Update(2, []float64{0, 1})
+	g.Score(0, []float64{1, 0})
+
+	exp := g.ExportScores()
+	if len(exp) != 3 {
+		t.Fatalf("export length %d", len(exp))
+	}
+	if math.IsNaN(exp[0]) || !math.IsNaN(exp[1]) || !math.IsNaN(exp[2]) {
+		t.Fatalf("NaN marking wrong: %v", exp)
+	}
+
+	g2, _ := New(DefaultConfig(), []int{0, 0, 1}, NewBruteSearcher())
+	if err := g2.ImportScores(exp); err != nil {
+		t.Fatal(err)
+	}
+	if g2.ScoredCount() != 1 || g2.ScoreOf(0) != g.ScoreOf(0) {
+		t.Fatal("import did not restore state")
+	}
+	if err := g2.ImportScores(exp[:1]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

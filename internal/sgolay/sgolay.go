@@ -1,0 +1,142 @@
+// Package sgolay implements the Savitzky-Golay smoothing filter (Savitzky &
+// Golay, 1964) used by the paper's Accuracy Monitor to de-noise the
+// per-epoch accuracy series before computing its growth rate (Eq. 6).
+//
+// The filter fits a degree-p polynomial to each odd-length window by linear
+// least squares and evaluates it at the window centre, which reduces to a
+// fixed convolution whose coefficients depend only on (window, order).
+// Coefficients are derived here directly from the normal equations using a
+// small Gaussian elimination — no external linear algebra needed.
+package sgolay
+
+import "fmt"
+
+// Filter holds precomputed convolution coefficients.
+type Filter struct {
+	window int
+	order  int
+	coeffs []float64 // length window, centre-evaluation weights
+}
+
+// New builds a filter with the given odd window length and polynomial order
+// (order < window).
+func New(window, order int) (*Filter, error) {
+	if window < 3 || window%2 == 0 {
+		return nil, fmt.Errorf("sgolay: window must be odd and >= 3, got %d", window)
+	}
+	if order < 0 || order >= window {
+		return nil, fmt.Errorf("sgolay: order must be in [0,window), got %d", order)
+	}
+	half := window / 2
+	// Normal equations: (AᵀA) c = Aᵀ e0 where A[i][j] = i^j for i in
+	// [-half, half], and the smoothed centre value is the polynomial's
+	// constant term. The convolution weight for offset i is then
+	// sum_j (AᵀA)⁻¹[0][j] * i^j.
+	n := order + 1
+	ata := make([][]float64, n)
+	for r := range ata {
+		ata[r] = make([]float64, n)
+		for c := range ata[r] {
+			var s float64
+			for i := -half; i <= half; i++ {
+				s += powi(float64(i), r+c)
+			}
+			ata[r][c] = s
+		}
+	}
+	inv0 := solveRow0(ata)
+	coeffs := make([]float64, window)
+	for i := -half; i <= half; i++ {
+		var w float64
+		for j := 0; j < n; j++ {
+			w += inv0[j] * powi(float64(i), j)
+		}
+		coeffs[i+half] = w
+	}
+	return &Filter{window: window, order: order, coeffs: coeffs}, nil
+}
+
+// Window returns the filter's window length.
+func (f *Filter) Window() int { return f.window }
+
+// Smooth returns the filtered series, same length as xs. Edges are handled
+// by mirror-padding half a window on each side. Series shorter than the
+// window are returned as a copy, unfiltered.
+func (f *Filter) Smooth(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) < f.window {
+		copy(out, xs)
+		return out
+	}
+	half := f.window / 2
+	at := func(i int) float64 {
+		// Mirror padding: ..., x2, x1, | x0, x1, ... , xn-1 |, xn-2, ...
+		if i < 0 {
+			i = -i
+		}
+		if i >= len(xs) {
+			i = 2*len(xs) - 2 - i
+		}
+		return xs[i]
+	}
+	for i := range xs {
+		var s float64
+		for k := -half; k <= half; k++ {
+			s += f.coeffs[k+half] * at(i+k)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// powi computes x^k for small non-negative integer k.
+func powi(x float64, k int) float64 {
+	p := 1.0
+	for ; k > 0; k-- {
+		p *= x
+	}
+	return p
+}
+
+// solveRow0 returns row 0 of the inverse of symmetric positive-definite m,
+// i.e. the solution of m x = e0, via Gaussian elimination with partial
+// pivoting. m is destroyed.
+func solveRow0(m [][]float64) []float64 {
+	n := len(m)
+	rhs := make([]float64, n)
+	rhs[0] = 1
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if abs(m[r][col]) > abs(m[p][col]) {
+				p = r
+			}
+		}
+		m[col], m[p] = m[p], m[col]
+		rhs[col], rhs[p] = rhs[p], rhs[col]
+		piv := m[col][col]
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			f := m[r][col] / piv
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rhs[i] / m[i][i]
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,139 @@
+package sgolay
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spidercache/internal/xrand"
+)
+
+func TestValidation(t *testing.T) {
+	cases := []struct{ window, order int }{
+		{2, 1}, {4, 2}, {1, 0}, {5, 5}, {5, -1},
+	}
+	for _, c := range cases {
+		if _, err := New(c.window, c.order); err == nil {
+			t.Errorf("New(%d,%d) accepted", c.window, c.order)
+		}
+	}
+}
+
+// TestKnownCoefficients checks the classic quadratic/cubic 5-point weights
+// (-3, 12, 17, 12, -3)/35 from the original Savitzky-Golay tables.
+func TestKnownCoefficients(t *testing.T) {
+	f, err := New(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-3.0 / 35, 12.0 / 35, 17.0 / 35, 12.0 / 35, -3.0 / 35}
+	for i, w := range want {
+		if math.Abs(f.coeffs[i]-w) > 1e-12 {
+			t.Fatalf("coeff[%d] = %.9f, want %.9f", i, f.coeffs[i], w)
+		}
+	}
+}
+
+func TestCoefficientsSumToOne(t *testing.T) {
+	for _, c := range []struct{ w, o int }{{5, 2}, {7, 2}, {7, 3}, {9, 4}, {3, 1}} {
+		f, err := New(c.w, c.o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, v := range f.coeffs {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-10 {
+			t.Errorf("window %d order %d: coefficients sum to %g", c.w, c.o, sum)
+		}
+	}
+}
+
+// TestPolynomialReproduction: an SG filter of order p reproduces any
+// polynomial of degree <= p exactly (away from edge effects the mirror
+// padding also preserves symmetric low-order behaviour; we check interior
+// points only).
+func TestPolynomialReproduction(t *testing.T) {
+	f, _ := New(7, 3)
+	poly := func(x float64) float64 { return 2 + 0.5*x - 0.3*x*x + 0.01*x*x*x }
+	xs := make([]float64, 40)
+	for i := range xs {
+		xs[i] = poly(float64(i))
+	}
+	sm := f.Smooth(xs)
+	for i := 3; i < len(xs)-3; i++ {
+		if math.Abs(sm[i]-xs[i]) > 1e-9 {
+			t.Fatalf("interior point %d: %g != %g", i, sm[i], xs[i])
+		}
+	}
+}
+
+func TestSmoothReducesNoise(t *testing.T) {
+	rng := xrand.New(1)
+	f, _ := New(5, 2)
+	n := 200
+	noisy := make([]float64, n)
+	clean := make([]float64, n)
+	for i := range noisy {
+		clean[i] = math.Sin(float64(i) / 20)
+		noisy[i] = clean[i] + rng.NormFloat64()*0.2
+	}
+	sm := f.Smooth(noisy)
+	var before, after float64
+	for i := 5; i < n-5; i++ {
+		before += (noisy[i] - clean[i]) * (noisy[i] - clean[i])
+		after += (sm[i] - clean[i]) * (sm[i] - clean[i])
+	}
+	if after >= before*0.7 {
+		t.Fatalf("smoothing did not reduce noise: %.4f -> %.4f", before, after)
+	}
+}
+
+func TestShortSeriesReturnedUnfiltered(t *testing.T) {
+	f, _ := New(7, 2)
+	xs := []float64{1, 2, 3}
+	sm := f.Smooth(xs)
+	for i := range xs {
+		if sm[i] != xs[i] {
+			t.Fatalf("short series modified: %v", sm)
+		}
+	}
+	// And the output must be a copy.
+	sm[0] = 99
+	if xs[0] != 1 {
+		t.Fatal("Smooth aliases input")
+	}
+}
+
+func TestSmoothPreservesConstants(t *testing.T) {
+	f, _ := New(5, 2)
+	check := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+			// Astronomic magnitudes lose relative precision in the
+			// convolution's cancellations; the filter operates on
+			// accuracy series in [0, 1].
+			return true
+		}
+		xs := make([]float64, 20)
+		for i := range xs {
+			xs[i] = v
+		}
+		for _, s := range f.Smooth(xs) {
+			if math.Abs(s-v) > math.Abs(v)*1e-9+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowAccessor(t *testing.T) {
+	f, _ := New(9, 2)
+	if f.Window() != 9 {
+		t.Fatalf("Window() = %d", f.Window())
+	}
+}

@@ -1,0 +1,315 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spidercache/internal/xrand"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func randomMatrix(rows, cols int, rng *xrand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// naiveMatMul is the reference O(n^3) triple loop.
+func naiveMatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func matricesEqual(t *testing.T, got, want *Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("shape %dx%d, want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if !almostEqual(got.Data[i], want.Data[i]) {
+			t.Fatalf("element %d: %g != %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := xrand.New(1)
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randomMatrix(m, k, rng)
+		b := randomMatrix(k, n, rng)
+		matricesEqual(t, MatMul(nil, a, b), naiveMatMul(a, b))
+	}
+}
+
+func TestMatMulATB(t *testing.T) {
+	rng := xrand.New(2)
+	for trial := 0; trial < 20; trial++ {
+		k, m, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randomMatrix(k, m, rng)
+		b := randomMatrix(k, n, rng)
+		at := New(m, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < m; j++ {
+				at.Set(j, i, a.At(i, j))
+			}
+		}
+		matricesEqual(t, MatMulATB(nil, a, b), naiveMatMul(at, b))
+	}
+}
+
+func TestMatMulABT(t *testing.T) {
+	rng := xrand.New(3)
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randomMatrix(m, k, rng)
+		b := randomMatrix(n, k, rng)
+		bt := New(k, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				bt.Set(j, i, b.At(i, j))
+			}
+		}
+		matricesEqual(t, MatMulABT(nil, a, b), naiveMatMul(a, bt))
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched matmul did not panic")
+		}
+	}()
+	MatMul(nil, New(2, 3), New(4, 2))
+}
+
+func TestFromSliceValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice with wrong length did not panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestAddRowVec(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	m.AddRowVec([]float64{10, 20, 30})
+	want := []float64{11, 22, 33, 14, 25, 36}
+	for i, v := range want {
+		if m.Data[i] != v {
+			t.Fatalf("AddRowVec[%d] = %g, want %g", i, m.Data[i], v)
+		}
+	}
+}
+
+func TestColSums(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := m.ColSums()
+	want := []float64{5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ColSums[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	m := FromSlice(1, 4, []float64{-1, 0, 2, -3})
+	m.ReLU()
+	want := []float64{0, 0, 2, 0}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Fatalf("ReLU[%d] = %g, want %g", i, m.Data[i], want[i])
+		}
+	}
+}
+
+func TestReLUBackward(t *testing.T) {
+	act := FromSlice(1, 4, []float64{0, 1, 0, 3})
+	grad := FromSlice(1, 4, []float64{5, 5, 5, 5})
+	ReLUBackward(grad, act)
+	want := []float64{0, 5, 0, 5}
+	for i := range want {
+		if grad.Data[i] != want[i] {
+			t.Fatalf("ReLUBackward[%d] = %g, want %g", i, grad.Data[i], want[i])
+		}
+	}
+}
+
+func TestArgmaxRows(t *testing.T) {
+	m := FromSlice(3, 3, []float64{1, 5, 2, 9, 0, 0, 3, 3, 4})
+	got := m.ArgmaxRows()
+	want := []int{1, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ArgmaxRows[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromSlice(1, 2, []float64{1, 2})
+	c := m.Clone()
+	c.Data[0] = 99
+	if m.Data[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestScaleAndAdd(t *testing.T) {
+	m := FromSlice(1, 3, []float64{1, 2, 3})
+	m.Scale(2)
+	m.Add(FromSlice(1, 3, []float64{1, 1, 1}))
+	want := []float64{3, 5, 7}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Fatalf("got %v", m.Data)
+		}
+	}
+}
+
+// Property: (A*B)ᵀ == Bᵀ*Aᵀ, exercised through MatMulABT/ATB consistency.
+func TestMatMulTransposeConsistency(t *testing.T) {
+	rng := xrand.New(4)
+	check := func(seed uint16) bool {
+		r := xrand.New(uint64(seed))
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a := randomMatrix(m, k, rng)
+		b := randomMatrix(k, n, rng)
+		ab := MatMul(nil, a, b)
+		// MatMulABT(a, bt) where bt has rows=b.Cols: build bᵀ then multiply.
+		bt := New(n, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < n; j++ {
+				bt.Set(j, i, b.At(i, j))
+			}
+		}
+		alt := MatMulABT(nil, a, bt)
+		for i := range ab.Data {
+			if !almostEqual(ab.Data[i], alt.Data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyAndShape(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, -2, 3, -4})
+	m.Apply(func(x float64) float64 { return x * x })
+	want := []float64{1, 4, 9, 16}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Fatalf("Apply[%d] = %g", i, m.Data[i])
+		}
+	}
+	r, c := m.Shape()
+	if r != 2 || c != 2 {
+		t.Fatalf("Shape = %d,%d", r, c)
+	}
+}
+
+func TestMatMulDstReuse(t *testing.T) {
+	rng := xrand.New(11)
+	a := randomMatrix(3, 4, rng)
+	b := randomMatrix(4, 2, rng)
+	dst := New(3, 2)
+	for i := range dst.Data {
+		dst.Data[i] = 99 // must be cleared by MatMul
+	}
+	got := MatMul(dst, a, b)
+	if got != dst {
+		t.Fatal("dst not reused")
+	}
+	matricesEqual(t, got, naiveMatMul(a, b))
+
+	// ATB and ABT with preallocated dst.
+	at := randomMatrix(4, 3, rng)
+	dst2 := New(3, 2)
+	dst2.Data[0] = 42
+	MatMulATB(dst2, at, b)
+	bt := randomMatrix(5, 4, rng)
+	dst3 := New(3, 5)
+	MatMulABT(dst3, a, bt)
+}
+
+func TestMatMulDstShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong dst shape accepted")
+		}
+	}()
+	MatMul(New(2, 2), New(2, 3), New(3, 4))
+}
+
+func TestMatMulATBShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched ATB accepted")
+		}
+	}()
+	MatMulATB(nil, New(3, 2), New(4, 5))
+}
+
+func TestMatMulABTShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched ABT accepted")
+		}
+	}()
+	MatMulABT(nil, New(3, 2), New(4, 5))
+}
+
+func TestAddShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Add accepted")
+		}
+	}()
+	New(2, 2).Add(New(3, 3))
+}
+
+func TestAddRowVecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-length AddRowVec accepted")
+		}
+	}()
+	New(2, 3).AddRowVec([]float64{1})
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative shape accepted")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestZero(t *testing.T) {
+	m := FromSlice(1, 3, []float64{1, 2, 3})
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Zero left residue")
+		}
+	}
+}

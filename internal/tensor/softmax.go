@@ -1,0 +1,64 @@
+package tensor
+
+import "math"
+
+// SoftmaxRows applies a numerically stable softmax to each row in place.
+func (m *Matrix) SoftmaxRows() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - max)
+			row[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// CrossEntropyRows computes the per-row cross-entropy losses -log(p[label])
+// given probs (rows already softmaxed) and integer labels. Probabilities are
+// floored at eps to keep losses finite.
+func CrossEntropyRows(probs *Matrix, labels []int) []float64 {
+	if len(labels) != probs.Rows {
+		panic("tensor: CrossEntropyRows label count mismatch")
+	}
+	const eps = 1e-12
+	out := make([]float64, probs.Rows)
+	for i, lab := range labels {
+		p := probs.At(i, lab)
+		if p < eps {
+			p = eps
+		}
+		out[i] = -math.Log(p)
+	}
+	return out
+}
+
+// SoftmaxCrossEntropyGrad computes, in place on probs, the gradient of the
+// mean cross-entropy loss with respect to the pre-softmax logits:
+// grad = (probs - onehot(labels)) * w[i], where w is an optional per-sample
+// weight (nil means uniform 1/N). probs must already hold softmax outputs.
+func SoftmaxCrossEntropyGrad(probs *Matrix, labels []int, w []float64) {
+	n := float64(probs.Rows)
+	for i, lab := range labels {
+		row := probs.Row(i)
+		row[lab] -= 1
+		scale := 1 / n
+		if w != nil {
+			scale = w[i]
+		}
+		for j := range row {
+			row[j] *= scale
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"spidercache/internal/policy"
+)
+
+// Summary aggregates a trace.
+type Summary struct {
+	Requests    int
+	Misses      int
+	CacheHits   int
+	Substitutes int
+	Epochs      int
+	UniqueIDs   int
+
+	// MeanReuseDistance is the mean number of distinct other samples
+	// requested between consecutive accesses to the same sample (the
+	// quantity LRU effectiveness depends on); -1 when no sample repeats.
+	MeanReuseDistance float64
+	// MedianReuseDistance is the distribution's median; -1 when undefined.
+	MedianReuseDistance float64
+	// TopShare is the fraction of requests landing on the most-requested
+	// 10% of distinct samples (sampling skew; 0.1 under uniform).
+	TopShare float64
+}
+
+// HitRatio returns (cache + substitute hits) / requests.
+func (s Summary) HitRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.CacheHits+s.Substitutes) / float64(s.Requests)
+}
+
+// Analyze computes the trace summary.
+func Analyze(t *Trace) Summary {
+	var sum Summary
+	sum.Requests = len(t.Events)
+	if sum.Requests == 0 {
+		sum.MeanReuseDistance = -1
+		sum.MedianReuseDistance = -1
+		return sum
+	}
+
+	counts := map[int]int{}
+	lastSeen := map[int]int{} // id -> index into events of previous access
+	var distances []float64
+	maxEpoch := 0
+
+	// Reuse distance via a per-access distinct-count scan. O(n * gap) in the
+	// worst case; traces at simulation scale keep this tractable, and the
+	// distinct count is what stack-distance analysis needs.
+	for i, e := range t.Events {
+		switch e.Source {
+		case policy.SourceMiss:
+			sum.Misses++
+		case policy.SourceCache:
+			sum.CacheHits++
+		case policy.SourceSubstitute:
+			sum.Substitutes++
+		}
+		if e.Epoch > maxEpoch {
+			maxEpoch = e.Epoch
+		}
+		counts[e.ID]++
+		if prev, ok := lastSeen[e.ID]; ok {
+			distinct := map[int]struct{}{}
+			for _, mid := range t.Events[prev+1 : i] {
+				distinct[mid.ID] = struct{}{}
+			}
+			distances = append(distances, float64(len(distinct)))
+		}
+		lastSeen[e.ID] = i
+	}
+	sum.Epochs = maxEpoch + 1
+	sum.UniqueIDs = len(counts)
+
+	if len(distances) == 0 {
+		sum.MeanReuseDistance = -1
+		sum.MedianReuseDistance = -1
+	} else {
+		var s float64
+		for _, d := range distances {
+			s += d
+		}
+		sum.MeanReuseDistance = s / float64(len(distances))
+		sort.Float64s(distances)
+		sum.MedianReuseDistance = distances[len(distances)/2]
+	}
+
+	// Skew: share of requests on the hottest 10% of distinct samples.
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	top := int(math.Ceil(float64(len(freqs)) * 0.1))
+	var topReq int
+	for _, c := range freqs[:top] {
+		topReq += c
+	}
+	sum.TopShare = float64(topReq) / float64(sum.Requests)
+	return sum
+}
+
+// Render formats the summary as an aligned report.
+func (s Summary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests           %d\n", s.Requests)
+	fmt.Fprintf(&b, "epochs             %d\n", s.Epochs)
+	fmt.Fprintf(&b, "unique samples     %d\n", s.UniqueIDs)
+	fmt.Fprintf(&b, "hit ratio          %.2f%%\n", s.HitRatio()*100)
+	fmt.Fprintf(&b, "  cache hits       %d\n", s.CacheHits)
+	fmt.Fprintf(&b, "  substitutes      %d\n", s.Substitutes)
+	fmt.Fprintf(&b, "  misses           %d\n", s.Misses)
+	if s.MeanReuseDistance >= 0 {
+		fmt.Fprintf(&b, "reuse distance     mean %.1f, median %.0f\n", s.MeanReuseDistance, s.MedianReuseDistance)
+	} else {
+		b.WriteString("reuse distance     n/a (no repeated accesses)\n")
+	}
+	fmt.Fprintf(&b, "top-10%% share      %.1f%% of requests\n", s.TopShare*100)
+	return b.String()
+}
+
+// PerEpochHitRatios returns the hit ratio of each epoch in the trace.
+func PerEpochHitRatios(t *Trace) []float64 {
+	if len(t.Events) == 0 {
+		return nil
+	}
+	maxEpoch := 0
+	for _, e := range t.Events {
+		if e.Epoch > maxEpoch {
+			maxEpoch = e.Epoch
+		}
+	}
+	hits := make([]int, maxEpoch+1)
+	total := make([]int, maxEpoch+1)
+	for _, e := range t.Events {
+		total[e.Epoch]++
+		if e.Source != policy.SourceMiss {
+			hits[e.Epoch]++
+		}
+	}
+	out := make([]float64, maxEpoch+1)
+	for i := range out {
+		if total[i] > 0 {
+			out[i] = float64(hits[i]) / float64(total[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the parser and that
+// anything it accepts round-trips losslessly. `go test` exercises the seed
+// corpus; `go test -fuzz=FuzzReadCSV ./internal/trace` explores further.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("seq,epoch,id,served,source\n0,0,1,1,cache\n")
+	f.Add("0,0,1,1,miss\n1,0,2,9,substitute\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("0,0,1,1,cache\n0,0") // truncated second record
+	f.Add("9223372036854775807,2147483647,1,1,miss\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted trace failed to serialise: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("serialised trace rejected: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round-trip length %d != %d", back.Len(), tr.Len())
+		}
+		for i := range tr.Events {
+			if tr.Events[i] != back.Events[i] {
+				t.Fatalf("event %d changed in round-trip", i)
+			}
+		}
+	})
+}

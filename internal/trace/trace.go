@@ -1,0 +1,137 @@
+// Package trace records per-request cache events during training and
+// derives the access-pattern statistics cache research lives on: reuse
+// distances, per-epoch frequency histograms, and per-source breakdowns.
+//
+// A Recorder wraps any policy.Policy; every Lookup emits one Event. Traces
+// serialise to a compact CSV (one line per request) so runs can be archived
+// and replayed through the analyzer (cmd/spidertrace) or external tooling.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"spidercache/internal/policy"
+)
+
+// Event is one cache request.
+type Event struct {
+	Seq    int64         // global request sequence number
+	Epoch  int           // training epoch
+	ID     int           // requested sample
+	Served int           // sample actually delivered
+	Source policy.Source // miss / cache / substitute
+}
+
+// Trace is an in-memory event sequence.
+type Trace struct {
+	Events []Event
+}
+
+// Recorder wraps a policy and appends one Event per Lookup. It implements
+// policy.Policy and forwards every other call unchanged.
+type Recorder struct {
+	policy.Policy
+	trace *Trace
+	epoch int
+	seq   int64
+}
+
+// NewRecorder wraps inner; events accumulate in the returned Trace.
+func NewRecorder(inner policy.Policy) (*Recorder, *Trace) {
+	tr := &Trace{}
+	return &Recorder{Policy: inner, trace: tr}, tr
+}
+
+// EpochOrder tracks the current epoch before delegating.
+func (r *Recorder) EpochOrder(epoch int) []int {
+	r.epoch = epoch
+	return r.Policy.EpochOrder(epoch)
+}
+
+// Lookup records the event and delegates.
+func (r *Recorder) Lookup(id int) policy.Lookup {
+	lk := r.Policy.Lookup(id)
+	r.trace.Events = append(r.trace.Events, Event{
+		Seq:    r.seq,
+		Epoch:  r.epoch,
+		ID:     id,
+		Served: lk.ServedID,
+		Source: lk.Source,
+	})
+	r.seq++
+	return lk
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// WriteCSV serialises the trace (header + one line per event).
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("seq,epoch,id,served,source\n"); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d,%s\n", e.Seq, e.Epoch, e.ID, e.Served, e.Source); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	tr := &Trace{}
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if first {
+			first = false
+			if strings.HasPrefix(line, "seq,") {
+				continue
+			}
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("trace: malformed line %q", line)
+		}
+		var e Event
+		var err error
+		if e.Seq, err = strconv.ParseInt(parts[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: bad seq %q", parts[0])
+		}
+		if e.Epoch, err = strconv.Atoi(parts[1]); err != nil {
+			return nil, fmt.Errorf("trace: bad epoch %q", parts[1])
+		}
+		if e.ID, err = strconv.Atoi(parts[2]); err != nil {
+			return nil, fmt.Errorf("trace: bad id %q", parts[2])
+		}
+		if e.Served, err = strconv.Atoi(parts[3]); err != nil {
+			return nil, fmt.Errorf("trace: bad served %q", parts[3])
+		}
+		switch parts[4] {
+		case "miss":
+			e.Source = policy.SourceMiss
+		case "cache":
+			e.Source = policy.SourceCache
+		case "substitute":
+			e.Source = policy.SourceSubstitute
+		default:
+			return nil, fmt.Errorf("trace: unknown source %q", parts[4])
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spidercache/internal/policy"
+)
+
+// scriptedPolicy returns canned lookups for Recorder tests.
+type scriptedPolicy struct {
+	n     int
+	serve map[int]policy.Lookup
+}
+
+func (p *scriptedPolicy) Name() string { return "scripted" }
+func (p *scriptedPolicy) EpochOrder(int) []int {
+	out := make([]int, p.n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+func (p *scriptedPolicy) Lookup(id int) policy.Lookup {
+	if lk, ok := p.serve[id]; ok {
+		return lk
+	}
+	return policy.Lookup{Source: policy.SourceMiss, ServedID: id}
+}
+func (p *scriptedPolicy) OnMiss(int, int)                             {}
+func (p *scriptedPolicy) OnBatchEnd(int, []policy.Feedback)           {}
+func (p *scriptedPolicy) OnEpochEnd(int, float64)                     {}
+func (p *scriptedPolicy) BackpropWeights([]policy.Feedback) []float64 { return nil }
+func (p *scriptedPolicy) HasGraphIS() bool                            { return false }
+
+func recordScripted(t *testing.T) *Trace {
+	t.Helper()
+	inner := &scriptedPolicy{
+		n: 4,
+		serve: map[int]policy.Lookup{
+			1: {Source: policy.SourceCache, ServedID: 1},
+			2: {Source: policy.SourceSubstitute, ServedID: 9},
+		},
+	}
+	rec, tr := NewRecorder(inner)
+	for epoch := 0; epoch < 2; epoch++ {
+		for _, id := range rec.EpochOrder(epoch) {
+			rec.Lookup(id)
+		}
+	}
+	return tr
+}
+
+func TestRecorderCapturesEvents(t *testing.T) {
+	tr := recordScripted(t)
+	if tr.Len() != 8 {
+		t.Fatalf("events %d, want 8", tr.Len())
+	}
+	e := tr.Events[2] // id 2 in epoch 0
+	if e.ID != 2 || e.Served != 9 || e.Source != policy.SourceSubstitute || e.Epoch != 0 {
+		t.Fatalf("event %+v", e)
+	}
+	if tr.Events[5].Epoch != 1 {
+		t.Fatalf("epoch not tracked: %+v", tr.Events[5])
+	}
+	for i, e := range tr.Events {
+		if e.Seq != int64(i) {
+			t.Fatalf("seq %d at index %d", e.Seq, i)
+		}
+	}
+}
+
+func TestCSVRoundtrip(t *testing.T) {
+	tr := recordScripted(t)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("roundtrip length %d != %d", back.Len(), tr.Len())
+	}
+	for i := range tr.Events {
+		if tr.Events[i] != back.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, tr.Events[i], back.Events[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"seq,epoch,id,served,source\n1,2,3\n",
+		"x,0,1,1,cache\n",
+		"0,x,1,1,cache\n",
+		"0,0,x,1,cache\n",
+		"0,0,1,x,cache\n",
+		"0,0,1,1,teleport\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	tr := recordScripted(t)
+	s := Analyze(tr)
+	if s.Requests != 8 || s.Epochs != 2 || s.UniqueIDs != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.CacheHits != 2 || s.Substitutes != 2 || s.Misses != 4 {
+		t.Fatalf("source counts %+v", s)
+	}
+	if s.HitRatio() != 0.5 {
+		t.Fatalf("hit ratio %g", s.HitRatio())
+	}
+}
+
+func TestAnalyzeReuseDistance(t *testing.T) {
+	// Sequence: 0 1 2 0 — reuse of 0 sees {1,2} = distance 2.
+	tr := &Trace{Events: []Event{
+		{Seq: 0, ID: 0}, {Seq: 1, ID: 1}, {Seq: 2, ID: 2}, {Seq: 3, ID: 0},
+	}}
+	s := Analyze(tr)
+	if s.MeanReuseDistance != 2 || s.MedianReuseDistance != 2 {
+		t.Fatalf("reuse distance %+v", s)
+	}
+}
+
+func TestAnalyzeNoRepeats(t *testing.T) {
+	tr := &Trace{Events: []Event{{ID: 0}, {ID: 1}}}
+	s := Analyze(tr)
+	if s.MeanReuseDistance != -1 {
+		t.Fatalf("expected undefined reuse distance, got %g", s.MeanReuseDistance)
+	}
+}
+
+func TestAnalyzeSkew(t *testing.T) {
+	// 10 distinct ids; id 0 requested 91 times, others once: top-10% share
+	// (the single hottest id) = 91/100.
+	var tr Trace
+	for i := 0; i < 91; i++ {
+		tr.Events = append(tr.Events, Event{ID: 0})
+	}
+	for id := 1; id < 10; id++ {
+		tr.Events = append(tr.Events, Event{ID: id})
+	}
+	s := Analyze(&tr)
+	if s.TopShare != 0.91 {
+		t.Fatalf("TopShare %g, want 0.91", s.TopShare)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	s := Analyze(&Trace{})
+	if s.Requests != 0 || s.MeanReuseDistance != -1 {
+		t.Fatalf("empty summary %+v", s)
+	}
+	if PerEpochHitRatios(&Trace{}) != nil {
+		t.Fatal("per-epoch ratios on empty trace")
+	}
+}
+
+func TestPerEpochHitRatios(t *testing.T) {
+	tr := recordScripted(t)
+	ratios := PerEpochHitRatios(tr)
+	if len(ratios) != 2 {
+		t.Fatalf("ratios %v", ratios)
+	}
+	for _, r := range ratios {
+		if r != 0.5 {
+			t.Fatalf("per-epoch ratio %v", ratios)
+		}
+	}
+}
+
+func TestRenderSummary(t *testing.T) {
+	out := Analyze(recordScripted(t)).Render()
+	for _, want := range []string{"requests", "hit ratio", "substitutes", "top-10%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package trainer
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteCSV serialises the run's per-epoch records (one line per epoch, with
+// a header) for external plotting or archival.
+func (r *Result) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# policy=%s model=%s dataset=%s workers=%d\n",
+		r.Policy, r.Model, r.Dataset, r.Workers); err != nil {
+		return err
+	}
+	cols := "epoch,requests,hit_cache,hit_sub,misses,hit_ratio," +
+		"load_ms,preproc_ms,compute_ms,is_ms,comm_ms,epoch_ms," +
+		"accuracy,train_loss,score_std,imp_ratio\n"
+	if _, err := bw.WriteString(cols); err != nil {
+		return err
+	}
+	ms := func(d interface{ Milliseconds() int64 }) int64 { return d.Milliseconds() }
+	for _, e := range r.Epochs {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f\n",
+			e.Epoch, e.Requests, e.HitCache, e.HitSub, e.Misses, e.HitRatio(),
+			ms(e.LoadTime), ms(e.PreprocTime), ms(e.ComputeTime), ms(e.ISTime), ms(e.CommTime), ms(e.EpochTime),
+			e.Accuracy, e.TrainLoss, e.ScoreStd, e.ImpRatio); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
