@@ -4,7 +4,8 @@
 //
 //	spiderbench -exp table4                # one experiment, paper defaults
 //	spiderbench -exp all -scale 0.5        # full suite at half scale
-//	spiderbench -exp fig14 -csv            # machine-readable output
+//	spiderbench -exp fig14 -format csv     # machine-readable output
+//	spiderbench -exp table3 -metrics       # telemetry snapshot after the runs
 //	spiderbench -list
 package main
 
@@ -17,17 +18,21 @@ import (
 	"time"
 
 	"spidercache"
+	"spidercache/internal/experiments"
+	"spidercache/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		scale  = flag.Float64("scale", 1.0, "dataset size multiplier")
-		epochs = flag.Int("epochs", 0, "override each experiment's default epoch count (0 = defaults)")
-		seed   = flag.Uint64("seed", 42, "random seed")
-		csv    = flag.Bool("csv", false, "emit CSV instead of tables")
-		outDir = flag.String("out", "", "also write each experiment's CSV to <dir>/<id>.csv")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale   = flag.Float64("scale", 1.0, "dataset size multiplier")
+		epochs  = flag.Int("epochs", 0, "override each experiment's default epoch count (0 = defaults)")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		format  = flag.String("format", "text", "output format: text or csv")
+		csv     = flag.Bool("csv", false, "emit CSV instead of tables (deprecated: use -format csv)")
+		outDir  = flag.String("out", "", "also write each experiment's CSV to <dir>/<id>.csv")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		metrics = flag.Bool("metrics", false, "print the aggregated telemetry snapshot (Prometheus text) at exit")
 	)
 	flag.Parse()
 
@@ -35,10 +40,21 @@ func main() {
 		fmt.Println(strings.Join(spidercache.Experiments(), "\n"))
 		return
 	}
+	outFormat, err := spidercache.ParseFormat(*format)
+	if err != nil {
+		fatal("", err)
+	}
+	if *csv {
+		outFormat = spidercache.FormatCSV
+	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fatal("", err)
 		}
+	}
+	var reg *telemetry.Registry
+	if *metrics {
+		reg = telemetry.NewRegistry()
 	}
 
 	ids := []string{*exp}
@@ -47,21 +63,29 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		rep, err := spidercache.GetExperiment(id, *scale, *epochs, *seed)
+		rep, err := experiments.Run(id, experiments.Options{
+			Scale: *scale, EpochOverride: *epochs, Seed: *seed, Metrics: reg,
+		})
 		if err != nil {
 			fatal(id, err)
 		}
-		if *csv {
+		if outFormat == spidercache.FormatCSV {
 			fmt.Print(rep.CSV())
 		} else {
-			fmt.Print(rep.Text())
+			fmt.Print(rep.String())
 			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
 		if *outDir != "" {
-			path := filepath.Join(*outDir, rep.ID()+".csv")
+			path := filepath.Join(*outDir, rep.ID+".csv")
 			if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
 				fatal(id, err)
 			}
+		}
+	}
+	if *metrics {
+		fmt.Println("--- telemetry snapshot (Prometheus text exposition) ---")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fatal("", err)
 		}
 	}
 }

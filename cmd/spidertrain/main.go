@@ -5,6 +5,12 @@
 //
 //	spidertrain -dataset cifar10 -model ResNet18 -policy spider \
 //	    -epochs 30 -cache 0.2 -scale 1.0 -workers 1 -seed 42
+//
+// Observability:
+//
+//	spidertrain -metrics                  # dump telemetry at exit (Prometheus text)
+//	spidertrain -metrics-json run.json    # JSON snapshot with p50/p95/p99
+//	spidertrain -metrics-listen :9090     # serve METRICS/STATS over TCP during the run
 package main
 
 import (
@@ -15,6 +21,8 @@ import (
 	"time"
 
 	"spidercache"
+	"spidercache/internal/kvserver"
+	"spidercache/internal/telemetry"
 )
 
 func main() {
@@ -34,27 +42,52 @@ func main() {
 		noPipe  = flag.Bool("no-pipeline", false, "disable IS pipeline overlap")
 		quiet   = flag.Bool("quiet", false, "print only the summary line")
 		csvOut  = flag.String("csv", "", "write per-epoch records to this CSV file")
+
+		metricsDump   = flag.Bool("metrics", false, "print the telemetry snapshot (Prometheus text) at exit")
+		metricsJSON   = flag.String("metrics-json", "", "write the telemetry snapshot as JSON to this file")
+		metricsListen = flag.String("metrics-listen", "", "serve the live telemetry registry over TCP (kvserver METRICS verb) on this address")
 	)
 	flag.Parse()
 
+	if err := spidercache.ValidatePolicy(*policy); err != nil {
+		fatal(err)
+	}
 	ds, err := buildDataset(*dsName, *scale, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := spidercache.Train(spidercache.TrainConfig{
-		Dataset:         ds,
-		Policy:          *policy,
-		Model:           *model,
-		Epochs:          *epochs,
-		BatchSize:       *batch,
-		CacheFraction:   *cache,
-		Workers:         *workers,
-		RStart:          *rStart,
-		REnd:            *rEnd,
-		StaticRatio:     *static,
-		DisablePipeline: *noPipe,
-		Seed:            *seed,
-	})
+
+	var reg *telemetry.Registry
+	if *metricsDump || *metricsJSON != "" || *metricsListen != "" {
+		reg = telemetry.NewRegistry()
+	}
+	if *metricsListen != "" {
+		srv, err := kvserver.ServeWith(*metricsListen, kvserver.Options{Capacity: 1, Registry: reg})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "spidertrain: serving METRICS on %s\n", srv.Addr())
+	}
+
+	opts := []spidercache.Option{
+		spidercache.WithPolicy(*policy),
+		spidercache.WithModel(*model),
+		spidercache.WithEpochs(*epochs),
+		spidercache.WithBatchSize(*batch),
+		spidercache.WithCacheFraction(*cache),
+		spidercache.WithWorkers(*workers),
+		spidercache.WithSeed(*seed),
+		spidercache.WithElasticRange(*rStart, *rEnd),
+		spidercache.WithMetrics(reg),
+	}
+	if *static {
+		opts = append(opts, spidercache.WithStaticRatio())
+	}
+	if *noPipe {
+		opts = append(opts, spidercache.WithoutPipeline())
+	}
+	res, err := spidercache.TrainWith(ds, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -85,6 +118,26 @@ func main() {
 		res.Policy, res.Model, res.Dataset, len(res.Epochs),
 		res.AvgHitRatio()*100, res.BestAcc*100, res.FinalAcc*100,
 		res.TotalTime.Round(time.Millisecond))
+
+	if *metricsJSON != "" {
+		f, err := os.Create(*metricsJSON)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsDump {
+		fmt.Println("--- telemetry snapshot (Prometheus text exposition) ---")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func buildDataset(name string, scale float64, seed uint64) (*spidercache.Dataset, error) {

@@ -15,6 +15,7 @@ type Homophily struct {
 	// hosts may share a neighbour; lookup picks the oldest host for
 	// deterministic behaviour.
 	byNeighbor map[int][]int
+	evictions  int64
 }
 
 type homEntry struct {
@@ -108,6 +109,9 @@ func (c *Homophily) Cap() int { return c.capacity }
 // servable as neighbours of some resident host.
 func (c *Homophily) NeighborCoverage() int { return len(c.byNeighbor) }
 
+// Evictions returns the cumulative number of FIFO-displaced host nodes.
+func (c *Homophily) Evictions() int64 { return c.evictions }
+
 func (c *Homophily) evictOldest() {
 	for c.headIdx < len(c.order) {
 		id := c.order[c.headIdx]
@@ -115,6 +119,7 @@ func (c *Homophily) evictOldest() {
 		if e, ok := c.entries[id]; ok {
 			c.dropNeighbors(id, e.neighbors)
 			delete(c.entries, id)
+			c.evictions++
 			return
 		}
 	}

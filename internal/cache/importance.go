@@ -5,9 +5,10 @@ package cache
 // sample when a more important one arrives. SHADE's cache, iCache's H-sample
 // region and SpiderCache's Importance Cache are all instances of it.
 type Importance struct {
-	capacity int
-	entries  map[int]*impEntry
-	heap     []*impEntry
+	capacity  int
+	entries   map[int]*impEntry
+	heap      []*impEntry
+	evictions int64
 }
 
 type impEntry struct {
@@ -62,6 +63,7 @@ func (c *Importance) Put(item Item, score float64) bool {
 		victim := c.heap[0]
 		c.removeAt(0)
 		delete(c.entries, victim.item.ID)
+		c.evictions++
 	}
 	e := &impEntry{item: item, score: score, pos: len(c.heap)}
 	c.entries[item.ID] = e
@@ -91,8 +93,13 @@ func (c *Importance) Resize(capacity int) {
 		victim := c.heap[0]
 		c.removeAt(0)
 		delete(c.entries, victim.item.ID)
+		c.evictions++
 	}
 }
+
+// Evictions returns the cumulative number of displaced residents (both
+// score-based displacement in Put and shrink evictions in Resize).
+func (c *Importance) Evictions() int64 { return c.evictions }
 
 // Len returns the number of cached items.
 func (c *Importance) Len() int { return len(c.entries) }

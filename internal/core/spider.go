@@ -26,6 +26,7 @@ import (
 	"spidercache/internal/policy"
 	"spidercache/internal/sampler"
 	"spidercache/internal/semgraph"
+	"spidercache/internal/telemetry"
 )
 
 // Options configures a SpiderCache instance.
@@ -60,7 +61,10 @@ type Options struct {
 	// Searcher overrides the ANN index (nil = HNSW built from Options.HNSW);
 	// tests inject the exact brute-force searcher here.
 	Searcher semgraph.NeighborSearcher
-	Seed     uint64
+	// Metrics receives cache-internals telemetry (evictions, substitutions,
+	// elastic imp_ratio/σ trajectories); nil disables recording.
+	Metrics *telemetry.Registry
+	Seed    uint64
 }
 
 func (o *Options) fillDefaults() {
@@ -114,6 +118,55 @@ type SpiderCache struct {
 
 	// per-run counters for diagnostics
 	homInstalls int
+
+	tel spiderTelemetry
+}
+
+// spiderTelemetry groups the policy's instruments, resolved once at
+// construction. With a nil registry these are shared no-ops, so record
+// sites stay unconditional.
+type spiderTelemetry struct {
+	impEvictions  *telemetry.Counter
+	homEvictions  *telemetry.Counter
+	substitutions *telemetry.Counter
+	homInstalls   *telemetry.Counter
+	impRatio      *telemetry.Gauge
+	scoreStd      *telemetry.Gauge
+	impResident   *telemetry.Gauge
+	homResident   *telemetry.Gauge
+
+	// last exported cache eviction totals, for delta accounting
+	lastImpEvict, lastHomEvict int64
+}
+
+func newSpiderTelemetry(reg *telemetry.Registry) spiderTelemetry {
+	reg.Describe("cache_evictions_total", "cumulative evictions per cache section")
+	reg.Describe("imp_ratio", "elastic Importance Cache share")
+	reg.Describe("score_std", "stddev of global importance scores")
+	return spiderTelemetry{
+		impEvictions:  reg.Counter("cache_evictions_total", telemetry.Labels{"section": "importance"}),
+		homEvictions:  reg.Counter("cache_evictions_total", telemetry.Labels{"section": "homophily"}),
+		substitutions: reg.Counter("homophily_substitutions_total", nil),
+		homInstalls:   reg.Counter("homophily_installs_total", nil),
+		impRatio:      reg.Gauge("imp_ratio", nil),
+		scoreStd:      reg.Gauge("score_std", nil),
+		impResident:   reg.Gauge("cache_resident", telemetry.Labels{"section": "importance"}),
+		homResident:   reg.Gauge("cache_resident", telemetry.Labels{"section": "homophily"}),
+	}
+}
+
+// flushCacheTelemetry publishes eviction deltas and resident counts.
+func (s *SpiderCache) flushCacheTelemetry() {
+	if impEv := s.imp.Evictions(); impEv > s.tel.lastImpEvict {
+		s.tel.impEvictions.Add(impEv - s.tel.lastImpEvict)
+		s.tel.lastImpEvict = impEv
+	}
+	if homEv := s.hom.Evictions(); homEv > s.tel.lastHomEvict {
+		s.tel.homEvictions.Add(homEv - s.tel.lastHomEvict)
+		s.tel.lastHomEvict = homEv
+	}
+	s.tel.impResident.Set(float64(s.imp.Len()))
+	s.tel.homResident.Set(float64(s.hom.Len()))
 }
 
 var (
@@ -164,7 +217,9 @@ func New(opts Options) (*SpiderCache, error) {
 		manager:  mgr,
 		impRatio: opts.Elastic.RStart,
 		payloads: opts.Payloads,
+		tel:      newSpiderTelemetry(opts.Metrics),
 	}
+	s.tel.impRatio.Set(s.impRatio)
 	if opts.DisableHomophily {
 		s.impRatio = 1
 	}
@@ -209,6 +264,7 @@ func (s *SpiderCache) Lookup(id int) policy.Lookup {
 		}
 		if s.grapher.ScoreOf(id) < s.subGate {
 			if host, ok := s.hom.LookupNeighbor(id); ok {
+				s.tel.substitutions.Inc()
 				return policy.Lookup{Source: policy.SourceSubstitute, ServedID: host.ID}
 			}
 		}
@@ -248,11 +304,14 @@ func (s *SpiderCache) OnBatchEnd(_ int, fb []policy.Feedback) {
 	if !s.opts.DisableHomophily && s.hom.Cap() > 0 && maxDegree > 0 {
 		s.hom.Put(cache.Item{ID: maxRes.ID, Size: s.payloads[maxRes.ID]}, maxRes.CloseNeighbors)
 		s.homInstalls++
+		s.tel.homInstalls.Inc()
 	}
 }
 
 // OnEpochEnd drives the Elastic Cache Manager and resizes the two sections.
 func (s *SpiderCache) OnEpochEnd(epoch int, accuracy float64) {
+	defer s.flushCacheTelemetry()
+	s.tel.scoreStd.Set(s.grapher.ScoreStd())
 	if s.opts.DisableHomophily {
 		return
 	}
@@ -270,6 +329,7 @@ func (s *SpiderCache) OnEpochEnd(epoch int, accuracy float64) {
 		s.imp.Resize(impCap)
 		s.hom.Resize(homCap)
 	}
+	s.tel.impRatio.Set(s.impRatio)
 }
 
 // BackpropWeights trains the full batch: SpiderCache is an I/O-bound-regime

@@ -64,7 +64,7 @@ func Ablation(opt Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg := runConfig(ds, nn.ResNet18, epochs, opt.Seed+uint64(i))
+		cfg := runConfig(opt, ds, nn.ResNet18, epochs, opt.Seed+uint64(i))
 		cfg.PipelineIS = v.pipeline
 		res, err := trainer.Run(cfg, pol)
 		if err != nil {

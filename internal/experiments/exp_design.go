@@ -62,11 +62,11 @@ func Table1(opt Options) (*Report, error) {
 	var notes []string
 	for i, model := range nn.AllProfiles() {
 		run := func(pipeline bool) (*trainer.Result, error) {
-			pol, err := BuildPolicy("spider", PolicyParams{Dataset: ds, Capacity: capacityFor(ds, 0.2), Epochs: epochs, Seed: opt.Seed + uint64(i)})
+			pol, err := BuildPolicy("spider", PolicyParams{Dataset: ds, Capacity: capacityFor(ds, 0.2), Epochs: epochs, Seed: opt.Seed + uint64(i), Metrics: opt.Metrics})
 			if err != nil {
 				return nil, err
 			}
-			cfg := runConfig(ds, model, epochs, opt.Seed+uint64(i))
+			cfg := runConfig(opt, ds, model, epochs, opt.Seed+uint64(i))
 			cfg.PipelineIS = pipeline
 			return trainer.Run(cfg, pol)
 		}

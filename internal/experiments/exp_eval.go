@@ -193,11 +193,12 @@ func Table6(opt Options) (*Report, error) {
 		pol, err := BuildPolicy("spider", PolicyParams{
 			Dataset: ds, Capacity: capacity, Epochs: epochs, Seed: opt.Seed + uint64(i),
 			RStart: s.rStart, REnd: s.rEnd, DisableElastic: s.disableElastic,
+			Metrics: opt.Metrics,
 		})
 		if err != nil {
 			return nil, err
 		}
-		res, err := trainer.Run(runConfig(ds, nn.ResNet18, epochs, opt.Seed+uint64(i)), pol)
+		res, err := trainer.Run(runConfig(opt, ds, nn.ResNet18, epochs, opt.Seed+uint64(i)), pol)
 		if err != nil {
 			return nil, err
 		}
@@ -239,11 +240,11 @@ func Fig17(opt Options) (*Report, error) {
 	for workers := 1; workers <= 4; workers++ {
 		var times [2]time.Duration
 		for i, name := range []string{"baseline", "spider"} {
-			pol, err := BuildPolicy(name, PolicyParams{Dataset: ds, Capacity: capacity, Epochs: epochs, Seed: opt.Seed + uint64(workers)})
+			pol, err := BuildPolicy(name, PolicyParams{Dataset: ds, Capacity: capacity, Epochs: epochs, Seed: opt.Seed + uint64(workers), Metrics: opt.Metrics})
 			if err != nil {
 				return nil, err
 			}
-			cfg := runConfig(ds, nn.ResNet18, epochs, opt.Seed+uint64(workers))
+			cfg := runConfig(opt, ds, nn.ResNet18, epochs, opt.Seed+uint64(workers))
 			cfg.Workers = workers
 			// Stall accounting (no prefetch overlap): Fig 17's comparison is
 			// about how much of the epoch each policy spends blocked on the

@@ -33,11 +33,11 @@ func Fig8(opt Options) (*Report, error) {
 	var seps []float64
 	var misShares []float64
 	for _, e := range checkpoints {
-		pol, err := BuildPolicy("spider", PolicyParams{Dataset: ds, Capacity: capacityFor(ds, 0.2), Epochs: e, Seed: opt.Seed})
+		pol, err := BuildPolicy("spider", PolicyParams{Dataset: ds, Capacity: capacityFor(ds, 0.2), Epochs: e, Seed: opt.Seed, Metrics: opt.Metrics})
 		if err != nil {
 			return nil, err
 		}
-		res, err := trainer.Run(runConfig(ds, nn.ResNet18, e, opt.Seed), pol)
+		res, err := trainer.Run(runConfig(opt, ds, nn.ResNet18, e, opt.Seed), pol)
 		if err != nil {
 			return nil, err
 		}

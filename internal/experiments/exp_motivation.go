@@ -29,7 +29,7 @@ func Fig3a(opt Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := trainer.Run(runConfig(ds, model, epochs, opt.Seed+uint64(i)), pol)
+		res, err := trainer.Run(runConfig(opt, ds, model, epochs, opt.Seed+uint64(i)), pol)
 		if err != nil {
 			return nil, err
 		}
@@ -92,12 +92,12 @@ func Fig5(opt Options) (*Report, error) {
 		return nil, err
 	}
 	epochs := opt.epochs(12)
-	pol, err := BuildPolicy("spider", PolicyParams{Dataset: ds, Capacity: capacityFor(ds, 0.2), Epochs: epochs, Seed: opt.Seed})
+	pol, err := BuildPolicy("spider", PolicyParams{Dataset: ds, Capacity: capacityFor(ds, 0.2), Epochs: epochs, Seed: opt.Seed, Metrics: opt.Metrics})
 	if err != nil {
 		return nil, err
 	}
 	rec := &orderRecorder{Policy: pol, n: ds.Len()}
-	if _, err := trainer.Run(runConfig(ds, nn.ResNet18, epochs, opt.Seed), rec); err != nil {
+	if _, err := trainer.Run(runConfig(opt, ds, nn.ResNet18, epochs, opt.Seed), rec); err != nil {
 		return nil, err
 	}
 
@@ -170,7 +170,7 @@ func Fig6a(opt Options) (*Report, error) {
 		return nil, err
 	}
 	rec := &lossRecorder{Policy: pol}
-	res, err := trainer.Run(runConfig(ds, nn.ResNet18, epochs, opt.Seed), rec)
+	res, err := trainer.Run(runConfig(opt, ds, nn.ResNet18, epochs, opt.Seed), rec)
 	if err != nil {
 		return nil, err
 	}
@@ -268,11 +268,11 @@ func Fig6c(opt Options) (*Report, error) {
 	series := make([]metrics.Series, 0, len(configs))
 	notes := []string{}
 	for i, c := range configs {
-		pol, err := BuildPolicy("spider", PolicyParams{Dataset: c.ds, Capacity: capacityFor(c.ds, 0.2), Epochs: epochs, Seed: opt.Seed + uint64(i)})
+		pol, err := BuildPolicy("spider", PolicyParams{Dataset: c.ds, Capacity: capacityFor(c.ds, 0.2), Epochs: epochs, Seed: opt.Seed + uint64(i), Metrics: opt.Metrics})
 		if err != nil {
 			return nil, err
 		}
-		res, err := trainer.Run(runConfig(c.ds, c.model, epochs, opt.Seed+uint64(i)), pol)
+		res, err := trainer.Run(runConfig(opt, c.ds, c.model, epochs, opt.Seed+uint64(i)), pol)
 		if err != nil {
 			return nil, err
 		}

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"spidercache/internal/metrics"
+	"spidercache/internal/telemetry"
 )
 
 // Options tunes the scale of every experiment.
@@ -31,6 +32,9 @@ type Options struct {
 	EpochOverride int
 	// Seed randomises the whole experiment deterministically.
 	Seed uint64
+	// Metrics receives serving-path and cache telemetry from every
+	// training run the experiment performs; nil disables recording.
+	Metrics *telemetry.Registry
 }
 
 // DefaultOptions returns full-scale settings.

@@ -2,12 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"spidercache/internal/core"
 	"spidercache/internal/dataset"
 	"spidercache/internal/elastic"
 	"spidercache/internal/nn"
 	"spidercache/internal/policy"
+	"spidercache/internal/telemetry"
 	"spidercache/internal/trainer"
 )
 
@@ -23,6 +25,21 @@ type PolicyParams struct {
 	RStart         float64
 	REnd           float64
 	DisableElastic bool
+
+	// Metrics receives cache-internals telemetry (SpiderCache policies
+	// only); nil disables recording.
+	Metrics *telemetry.Registry
+}
+
+// ValidatePolicy reports nil when name is buildable, or a descriptive
+// error listing every accepted name.
+func ValidatePolicy(name string) error {
+	for _, n := range PolicyNames() {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown policy %q (want one of %s)", name, strings.Join(PolicyNames(), ", "))
 }
 
 // PolicyNames lists every buildable policy in evaluation order.
@@ -51,7 +68,7 @@ func BuildPolicy(name string, p PolicyParams) (policy.Policy, error) {
 	case "spider":
 		return buildSpider(p, false)
 	default:
-		return nil, fmt.Errorf("experiments: unknown policy %q", name)
+		return nil, fmt.Errorf("experiments: %w", ValidatePolicy(name))
 	}
 }
 
@@ -75,6 +92,7 @@ func buildSpider(p PolicyParams, impOnly bool) (*core.SpiderCache, error) {
 		TotalEpochs:      epochs,
 		DisableHomophily: impOnly,
 		DisableElastic:   p.DisableElastic,
+		Metrics:          p.Metrics,
 		Seed:             p.Seed,
 	})
 }
@@ -126,8 +144,9 @@ func cifar10(opt Options) (*dataset.Dataset, error) {
 	return dataset.New(dataset.CIFAR10Like(opt.Scale, opt.Seed))
 }
 
-// runConfig assembles a trainer config with repository defaults.
-func runConfig(ds *dataset.Dataset, model nn.Profile, epochs int, seed uint64) trainer.Config {
+// runConfig assembles a trainer config with repository defaults; the
+// experiment Options contribute the telemetry registry.
+func runConfig(opt Options, ds *dataset.Dataset, model nn.Profile, epochs int, seed uint64) trainer.Config {
 	return trainer.Config{
 		Dataset:    ds,
 		Model:      model,
@@ -135,17 +154,18 @@ func runConfig(ds *dataset.Dataset, model nn.Profile, epochs int, seed uint64) t
 		BatchSize:  64,
 		Workers:    1,
 		PipelineIS: true,
+		Metrics:    opt.Metrics,
 		Seed:       seed,
 	}
 }
 
 // runPolicy builds and trains one named policy, returning the run record.
 func runPolicy(name string, ds *dataset.Dataset, model nn.Profile, epochs, capacity int, opt Options) (*trainer.Result, error) {
-	pol, err := BuildPolicy(name, PolicyParams{Dataset: ds, Capacity: capacity, Epochs: epochs, Seed: opt.Seed + 99})
+	pol, err := BuildPolicy(name, PolicyParams{Dataset: ds, Capacity: capacity, Epochs: epochs, Seed: opt.Seed + 99, Metrics: opt.Metrics})
 	if err != nil {
 		return nil, err
 	}
-	return trainer.Run(runConfig(ds, model, epochs, opt.Seed+17), pol)
+	return trainer.Run(runConfig(opt, ds, model, epochs, opt.Seed+17), pol)
 }
 
 // capacityFor converts a cache-size fraction into an item budget.

@@ -116,6 +116,36 @@ func (c *Client) Del(key string) (bool, error) {
 	}
 }
 
+// Metrics fetches the server's telemetry snapshot as Prometheus exposition
+// text (the METRICS verb).
+func (c *Client) Metrics() (string, error) {
+	if _, err := fmt.Fprint(c.w, "METRICS\r\n"); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	line, err := readLine(c.r)
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(line, "METRICS ") {
+		return "", fmt.Errorf("kvserver: METRICS failed: %s", line)
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(line, "METRICS "))
+	if err != nil || n < 0 || n > MaxValueSize {
+		return "", fmt.Errorf("kvserver: bad METRICS header %q", line)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.r, payload); err != nil {
+		return "", err
+	}
+	if err := expectCRLF(c.r); err != nil {
+		return "", err
+	}
+	return string(payload), nil
+}
+
 // Stats returns (items, hits, misses) from the server.
 func (c *Client) Stats() (items int, hits, misses int64, err error) {
 	if _, err := fmt.Fprint(c.w, "STATS\r\n"); err != nil {

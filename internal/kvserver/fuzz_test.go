@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"testing"
+
+	"spidercache/internal/telemetry"
 )
 
 // FuzzServeOne drives the protocol handler with arbitrary bytes: the server
@@ -15,12 +17,14 @@ func FuzzServeOne(f *testing.F) {
 	f.Add([]byte("SET k 3\r\nabcXX"))
 	f.Add([]byte("DEL k\r\n"))
 	f.Add([]byte("STATS\r\n"))
+	f.Add([]byte("METRICS\r\n"))
 	f.Add([]byte("QUIT\r\n"))
 	f.Add([]byte("SET k 99999999999999999999\r\n"))
 	f.Add([]byte("\r\n"))
 	f.Add([]byte{0, 1, 2, '\n'})
 	f.Fuzz(func(t *testing.T, input []byte) {
-		srv := &Server{store: newStore(8)}
+		reg := telemetry.NewRegistry()
+		srv := &Server{store: newStore(8), reg: reg, tel: newServerTelemetry(reg)}
 		r := bufio.NewReader(bytes.NewReader(input))
 		var out bytes.Buffer
 		w := bufio.NewWriter(&out)

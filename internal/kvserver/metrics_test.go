@@ -1,0 +1,114 @@
+package kvserver
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"spidercache/internal/telemetry"
+)
+
+func TestMetricsVerbOverWire(t *testing.T) {
+	srv := startServer(t, 16)
+	c := dial(t, srv)
+
+	if err := c.Set("img:1", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get("img:1"); err != nil || !ok {
+		t.Fatalf("Get hit: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := c.Get("img:missing"); err != nil || ok {
+		t.Fatalf("Get miss: ok=%v err=%v", ok, err)
+	}
+	if _, err := c.Del("img:1"); err != nil {
+		t.Fatal(err)
+	}
+
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	for _, want := range []string{
+		`kv_ops_total{op="get",result="hit"} 1`,
+		`kv_ops_total{op="get",result="miss"} 1`,
+		`kv_ops_total{op="set",result="stored"} 1`,
+		`kv_ops_total{op="del",result="deleted"} 1`,
+		`kv_op_seconds{op="get",quantile="0.5"}`,
+		`kv_op_seconds{op="get",quantile="0.95"}`,
+		`kv_op_seconds{op="get",quantile="0.99"}`,
+		`kv_op_seconds_count{op="get"} 2`,
+		"# TYPE kv_ops_total counter",
+		"# TYPE kv_op_seconds summary",
+		"kv_items 0",
+		"kv_hits 1",
+		"kv_misses 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("METRICS output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestMetricsSharedRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Gauge("host_custom_gauge", nil).Set(42)
+	srv, err := ServeWith("127.0.0.1:0", Options{Capacity: 4, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	if srv.Metrics() != reg {
+		t.Fatal("server did not adopt the shared registry")
+	}
+
+	c := dial(t, srv)
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The METRICS verb serves host-registered series alongside kv_* ones.
+	if !strings.Contains(text, "host_custom_gauge 42") {
+		t.Fatalf("shared series missing:\n%s", text)
+	}
+	if !strings.Contains(text, "kv_items") {
+		t.Fatalf("kv series missing:\n%s", text)
+	}
+}
+
+func TestMetricsConcurrentWithTraffic(t *testing.T) {
+	srv := startServer(t, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := dial(t, srv)
+			for i := 0; i < 50; i++ {
+				key := "k" + string(rune('a'+g))
+				if err := c.Set(key, []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := c.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Metrics(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	c := dial(t, srv)
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, `kv_ops_total{op="set",result="stored"} 200`) {
+		t.Fatalf("expected 200 stored sets:\n%s", text)
+	}
+}

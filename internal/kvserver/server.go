@@ -13,7 +13,14 @@
 //	GET <key>\r\n                          -> VALUE <nbytes>\r\n<payload>\r\n | NOT_FOUND
 //	DEL <key>\r\n                          -> DELETED | NOT_FOUND
 //	STATS\r\n                              -> STATS <items> <hits> <misses>\r\n
+//	METRICS\r\n                            -> METRICS <nbytes>\r\n<payload>\r\n
 //	QUIT\r\n                               -> connection closed
+//
+// METRICS returns the server's telemetry registry rendered in the
+// Prometheus text exposition format: per-op counters
+// (kv_ops_total{op=...,result=...}), per-op latency summaries with
+// p50/p95/p99 (kv_op_seconds{op=...}) and resident-item/hit/miss gauges —
+// a strict superset of STATS.
 package kvserver
 
 import (
@@ -26,6 +33,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"spidercache/internal/telemetry"
 )
 
 // MaxValueSize bounds a single payload (guards the server against abusive
@@ -145,24 +155,82 @@ type Server struct {
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   atomic.Bool
+
+	reg *telemetry.Registry
+	tel serverTelemetry
+}
+
+// serverTelemetry groups the per-op instruments, resolved once at startup.
+type serverTelemetry struct {
+	getHit, getMiss, setOps, delHit, delMiss *telemetry.Counter
+	getLat, setLat, delLat                   *telemetry.Histogram
+	items, hits, misses                      *telemetry.Gauge
+}
+
+func newServerTelemetry(reg *telemetry.Registry) serverTelemetry {
+	reg.Describe("kv_ops_total", "kvserver operations by op and result")
+	reg.Describe("kv_op_seconds", "kvserver per-op service latency (p50/p95/p99)")
+	reg.Describe("kv_items", "resident items")
+	return serverTelemetry{
+		getHit:  reg.Counter("kv_ops_total", telemetry.Labels{"op": "get", "result": "hit"}),
+		getMiss: reg.Counter("kv_ops_total", telemetry.Labels{"op": "get", "result": "miss"}),
+		setOps:  reg.Counter("kv_ops_total", telemetry.Labels{"op": "set", "result": "stored"}),
+		delHit:  reg.Counter("kv_ops_total", telemetry.Labels{"op": "del", "result": "deleted"}),
+		delMiss: reg.Counter("kv_ops_total", telemetry.Labels{"op": "del", "result": "miss"}),
+		getLat:  reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "get"}),
+		setLat:  reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "set"}),
+		delLat:  reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "del"}),
+		items:   reg.Gauge("kv_items", nil),
+		hits:    reg.Gauge("kv_hits", nil),
+		misses:  reg.Gauge("kv_misses", nil),
+	}
+}
+
+// Options configures a server beyond the listen address.
+type Options struct {
+	// Capacity is the item budget of the LRU store (required, >= 1).
+	Capacity int
+	// Registry receives the server's telemetry and backs the METRICS verb.
+	// Nil means a private registry owned by the server — METRICS always
+	// works. Passing a shared registry lets a host process fold kvserver
+	// metrics into its own exposition (and vice versa: anything else
+	// registered there is served by METRICS too).
+	Registry *telemetry.Registry
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") holding up to capacity
 // items. It returns once the listener is bound; connections are handled in
 // background goroutines until Close.
 func Serve(addr string, capacity int) (*Server, error) {
-	if capacity < 1 {
-		return nil, fmt.Errorf("kvserver: capacity must be >= 1, got %d", capacity)
+	return ServeWith(addr, Options{Capacity: capacity})
+}
+
+// ServeWith is Serve with full Options.
+func ServeWith(addr string, opts Options) (*Server, error) {
+	if opts.Capacity < 1 {
+		return nil, fmt.Errorf("kvserver: capacity must be >= 1, got %d", opts.Capacity)
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &Server{store: newStore(capacity), listener: ln}
+	srv := &Server{
+		store:    newStore(opts.Capacity),
+		listener: ln,
+		reg:      reg,
+		tel:      newServerTelemetry(reg),
+	}
 	srv.wg.Add(1)
 	go srv.acceptLoop()
 	return srv, nil
 }
+
+// Metrics returns the server's telemetry registry (never nil).
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
@@ -242,18 +310,25 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
 		if err := expectCRLF(r); err != nil {
 			return err
 		}
+		start := time.Now()
 		s.store.set(key, value)
 		_, err = w.WriteString("STORED\r\n")
+		s.tel.setOps.Inc()
+		s.tel.setLat.Observe(time.Since(start).Seconds())
 		return err
 	case "GET":
 		if len(fields) != 2 {
 			return fmt.Errorf("GET wants <key>")
 		}
+		start := time.Now()
 		value, ok := s.store.get(fields[1])
+		defer func() { s.tel.getLat.Observe(time.Since(start).Seconds()) }()
 		if !ok {
+			s.tel.getMiss.Inc()
 			_, err := w.WriteString("NOT_FOUND\r\n")
 			return err
 		}
+		s.tel.getHit.Inc()
 		if _, err := fmt.Fprintf(w, "VALUE %d\r\n", len(value)); err != nil {
 			return err
 		}
@@ -266,21 +341,46 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
 		if len(fields) != 2 {
 			return fmt.Errorf("DEL wants <key>")
 		}
-		if s.store.del(fields[1]) {
+		start := time.Now()
+		deleted := s.store.del(fields[1])
+		s.tel.delLat.Observe(time.Since(start).Seconds())
+		if deleted {
+			s.tel.delHit.Inc()
 			_, err := w.WriteString("DELETED\r\n")
 			return err
 		}
+		s.tel.delMiss.Inc()
 		_, err := w.WriteString("NOT_FOUND\r\n")
 		return err
 	case "STATS":
 		items, hits, misses := s.store.stats()
 		_, err := fmt.Fprintf(w, "STATS %d %d %d\r\n", items, hits, misses)
 		return err
+	case "METRICS":
+		payload := []byte(s.metricsText())
+		if _, err := fmt.Fprintf(w, "METRICS %d\r\n", len(payload)); err != nil {
+			return err
+		}
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+		_, err := w.WriteString("\r\n")
+		return err
 	case "QUIT":
 		return errQuit
 	default:
 		return fmt.Errorf("unknown command %q", fields[0])
 	}
+}
+
+// metricsText refreshes the store-level gauges and renders the registry in
+// the Prometheus text exposition format.
+func (s *Server) metricsText() string {
+	items, hits, misses := s.store.stats()
+	s.tel.items.Set(float64(items))
+	s.tel.hits.Set(float64(hits))
+	s.tel.misses.Set(float64(misses))
+	return s.reg.Prometheus()
 }
 
 // readLine reads a \r\n- (or \n-) terminated line without the terminator.

@@ -26,6 +26,7 @@ import (
 	"spidercache/internal/policy"
 	"spidercache/internal/simclock"
 	"spidercache/internal/storage"
+	"spidercache/internal/telemetry"
 	"spidercache/internal/tensor"
 	"spidercache/internal/xrand"
 )
@@ -63,8 +64,12 @@ type Config struct {
 	CommCost time.Duration
 	// MLP optionally overrides the learner architecture; zero value
 	// derives it from the dataset and model profile.
-	MLP  nn.MLPConfig
-	Seed uint64
+	MLP nn.MLPConfig
+	// Metrics receives live serving-path telemetry (per-tier lookup
+	// counters, simulated fetch/compute latency histograms, per-epoch
+	// accuracy/loss gauges); nil disables recording.
+	Metrics *telemetry.Registry
+	Seed    uint64
 }
 
 // Validate reports a descriptive error for unusable configurations.
@@ -190,6 +195,45 @@ func (r *Result) LossSeries() []float64 {
 	return out
 }
 
+// runTelemetry groups the serving-path instruments, resolved once per run.
+// With a nil registry every instrument is a shared no-op, so the hot loop
+// records unconditionally.
+type runTelemetry struct {
+	lookCache *telemetry.Counter // served by a cache, requested sample itself
+	lookSub   *telemetry.Counter // served by a homophily/random substitute
+	lookMiss  *telemetry.Counter // fetched from remote storage
+
+	fetchRemote *telemetry.Histogram // simulated per-sample remote fetch
+	fetchMemory *telemetry.Histogram // simulated per-sample memory-tier read
+	batchWall   *telemetry.Histogram // simulated per-batch wall time
+	epochWall   *telemetry.Histogram // simulated per-epoch wall time
+
+	accuracy *telemetry.Gauge
+	loss     *telemetry.Gauge
+	epochs   *telemetry.Counter
+}
+
+func newRunTelemetry(reg *telemetry.Registry) runTelemetry {
+	reg.Describe("lookups_total", "sample lookups per serving tier (cache/substitute/miss)")
+	reg.Describe("fetch_seconds", "simulated per-sample fetch latency per storage tier (p50/p95/p99)")
+	reg.Describe("batch_seconds", "simulated wall time per mini-batch (p50/p95/p99)")
+	reg.Describe("epoch_seconds", "simulated wall time per epoch (p50/p95/p99)")
+	reg.Describe("train_accuracy", "held-out Top-1 accuracy after the last epoch")
+	reg.Describe("train_loss", "mean training loss of the last epoch")
+	return runTelemetry{
+		lookCache:   reg.Counter("lookups_total", telemetry.Labels{"source": "cache"}),
+		lookSub:     reg.Counter("lookups_total", telemetry.Labels{"source": "substitute"}),
+		lookMiss:    reg.Counter("lookups_total", telemetry.Labels{"source": "miss"}),
+		fetchRemote: reg.Histogram("fetch_seconds", telemetry.Labels{"tier": "remote"}),
+		fetchMemory: reg.Histogram("fetch_seconds", telemetry.Labels{"tier": "memory"}),
+		batchWall:   reg.Histogram("batch_seconds", nil),
+		epochWall:   reg.HistogramWindow("epoch_seconds", 256, nil),
+		accuracy:    reg.Gauge("train_accuracy", nil),
+		loss:        reg.Gauge("train_loss", nil),
+		epochs:      reg.Counter("epochs_total", nil),
+	}
+}
+
 // Run trains cfg.Epochs epochs under pol and returns the full record.
 func Run(cfg Config, pol policy.Policy) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
@@ -220,6 +264,7 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 		Workers: cfg.Workers,
 	}
 
+	tel := newRunTelemetry(cfg.Metrics)
 	baseLR := cfg.MLP.LR
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		// Cosine learning-rate decay to 10% of the base rate, the standard
@@ -227,9 +272,13 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 		// epochs stable for every sampling policy.
 		frac := float64(epoch) / float64(cfg.Epochs)
 		mlp.SetLR(baseLR * (0.55 + 0.45*math.Cos(math.Pi*frac)))
-		st := runEpoch(cfg, pol, store, mlp, clock, epoch)
+		st := runEpoch(cfg, pol, store, mlp, clock, epoch, &tel)
 		st.Accuracy, _ = mlp.Evaluate(testX, ds.TestLabels)
 		pol.OnEpochEnd(epoch, st.Accuracy)
+		tel.epochWall.Observe(st.EpochTime.Seconds())
+		tel.accuracy.Set(st.Accuracy)
+		tel.loss.Set(st.TrainLoss)
+		tel.epochs.Inc()
 		if rep, ok := pol.(policy.ScoreStdReporter); ok {
 			st.ScoreStd = rep.ScoreStd()
 		}
@@ -251,7 +300,7 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 
 // runEpoch executes one epoch and returns its stats (accuracy filled by the
 // caller).
-func runEpoch(cfg Config, pol policy.Policy, store *storage.Store, mlp *nn.MLP, clock *simclock.Clock, epoch int) EpochStats {
+func runEpoch(cfg Config, pol policy.Policy, store *storage.Store, mlp *nn.MLP, clock *simclock.Clock, epoch int, tel *runTelemetry) EpochStats {
 	ds := cfg.Dataset
 	st := EpochStats{Epoch: epoch}
 	order := pol.EpochOrder(epoch)
@@ -280,14 +329,23 @@ func runEpoch(cfg Config, pol policy.Policy, store *storage.Store, mlp *nn.MLP, 
 			switch lk.Source {
 			case policy.SourceMiss:
 				st.Misses++
-				missLoad += store.FetchRemote(ds.Payload[id])
+				d := store.FetchRemote(ds.Payload[id])
+				missLoad += d
+				tel.lookMiss.Inc()
+				tel.fetchRemote.Observe(d.Seconds())
 				pol.OnMiss(id, ds.Payload[id])
 			case policy.SourceCache:
 				st.HitCache++
-				hitLoad += store.FetchMemory(ds.Payload[lk.ServedID])
+				d := store.FetchMemory(ds.Payload[lk.ServedID])
+				hitLoad += d
+				tel.lookCache.Inc()
+				tel.fetchMemory.Observe(d.Seconds())
 			case policy.SourceSubstitute:
 				st.HitSub++
-				hitLoad += store.FetchMemory(ds.Payload[lk.ServedID])
+				d := store.FetchMemory(ds.Payload[lk.ServedID])
+				hitLoad += d
+				tel.lookSub.Inc()
+				tel.fetchMemory.Observe(d.Seconds())
 			}
 		}
 		load := missLoad + time.Duration(float64(hitLoad)/w)
@@ -356,6 +414,7 @@ func runEpoch(cfg Config, pol policy.Policy, store *storage.Store, mlp *nn.MLP, 
 		st.ComputeTime += time.Duration(float64(compute) / w)
 		st.ISTime += time.Duration(float64(visibleIS) / w)
 		st.CommTime += comm
+		tel.batchWall.Observe(batchWall.Seconds())
 		clock.Advance(batchWall)
 	}
 

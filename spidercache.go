@@ -20,11 +20,13 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"spidercache/internal/dataset"
 	"spidercache/internal/experiments"
 	"spidercache/internal/nn"
+	"spidercache/internal/telemetry"
 	"spidercache/internal/trainer"
 )
 
@@ -42,6 +44,17 @@ const (
 
 // Policies lists every accepted policy name in evaluation order.
 func Policies() []string { return experiments.PolicyNames() }
+
+// ValidatePolicy reports nil when name is one of the Policy* constants, or
+// a descriptive error listing every accepted name. The Policy* constants
+// and Policies() are the single source of truth; Train rejects unknown
+// names with this error before building anything.
+func ValidatePolicy(name string) error {
+	if err := experiments.ValidatePolicy(name); err != nil {
+		return fmt.Errorf("spidercache: %w", err)
+	}
+	return nil
+}
 
 // Models lists the supported model cost profiles.
 func Models() []string {
@@ -121,7 +134,12 @@ type TrainConfig struct {
 	// SerialLoading disables the DataLoader prefetch overlap, charging
 	// loading and compute sequentially (stall accounting).
 	SerialLoading bool
-	Seed          uint64
+	// Metrics receives live serving-path and cache telemetry (per-tier
+	// lookup counters, fetch-latency histograms, elastic imp_ratio/σ
+	// gauges); nil disables recording. See internal/telemetry and the
+	// README's Observability section for the exposition formats.
+	Metrics *telemetry.Registry
+	Seed    uint64
 }
 
 func (c *TrainConfig) fillDefaults() error {
@@ -208,8 +226,23 @@ func (r *Result) WriteCSV(w io.Writer) error {
 }
 
 // Train runs one training configuration and returns its full record.
+//
+// Zero-valued fields of cfg take repository defaults (Epochs 30,
+// CacheFraction 0.2, ...), which makes a genuine zero unexpressible; use
+// TrainWith and functional options when that distinction matters.
 func Train(cfg TrainConfig) (*Result, error) {
 	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	return train(cfg)
+}
+
+// train runs a fully resolved configuration: no defaulting happens here.
+func train(cfg TrainConfig) (*Result, error) {
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("spidercache: TrainConfig.Dataset must be set")
+	}
+	if err := ValidatePolicy(cfg.Policy); err != nil {
 		return nil, err
 	}
 	model, err := nn.ProfileByName(cfg.Model)
@@ -225,6 +258,7 @@ func Train(cfg TrainConfig) (*Result, error) {
 		RStart:         cfg.RStart,
 		REnd:           cfg.REnd,
 		DisableElastic: cfg.StaticRatio,
+		Metrics:        cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -237,6 +271,7 @@ func Train(cfg TrainConfig) (*Result, error) {
 		Workers:       cfg.Workers,
 		PipelineIS:    !cfg.DisablePipeline,
 		SerialLoading: cfg.SerialLoading,
+		Metrics:       cfg.Metrics,
 		Seed:          cfg.Seed,
 	}
 	res, err := trainer.Run(tc, pol)
@@ -303,16 +338,69 @@ func GetExperiment(id string, scale float64, epochs int, seed uint64) (*Experime
 	return &ExperimentReport{rep: rep}, nil
 }
 
-// RunExperiment regenerates one paper table/figure and returns the rendered
-// report; csv switches the output format. See GetExperiment for a handle
+// Format selects the rendering of an experiment report.
+type Format int
+
+// Report formats accepted by RenderExperiment.
+const (
+	// FormatText renders aligned tables with notes (terminal output).
+	FormatText Format = iota
+	// FormatCSV renders every table as CSV blocks (machine-readable).
+	FormatCSV
+)
+
+// String returns "text" or "csv".
+func (f Format) String() string {
+	switch f {
+	case FormatText:
+		return "text"
+	case FormatCSV:
+		return "csv"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// ParseFormat resolves "text" or "csv" (case-insensitive) to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "text", "":
+		return FormatText, nil
+	case "csv":
+		return FormatCSV, nil
+	default:
+		return 0, fmt.Errorf("spidercache: unknown format %q (want text or csv)", s)
+	}
+}
+
+// RenderExperiment regenerates one paper table/figure and returns the
+// report rendered in the requested format. See GetExperiment for a handle
 // that can render both without re-running.
-func RunExperiment(id string, scale float64, epochs int, seed uint64, csv bool) (string, error) {
+func RenderExperiment(id string, scale float64, epochs int, seed uint64, format Format) (string, error) {
 	rep, err := GetExperiment(id, scale, epochs, seed)
 	if err != nil {
 		return "", err
 	}
-	if csv {
+	switch format {
+	case FormatText:
+		return rep.Text(), nil
+	case FormatCSV:
 		return rep.CSV(), nil
+	default:
+		return "", fmt.Errorf("spidercache: unknown format %v", format)
 	}
-	return rep.Text(), nil
+}
+
+// RunExperiment regenerates one paper table/figure and returns the rendered
+// report; csv switches the output format.
+//
+// Deprecated: the boolean flag reads poorly at call sites; use
+// RenderExperiment with FormatText or FormatCSV instead. This wrapper is
+// kept so existing callers compile and behave identically.
+func RunExperiment(id string, scale float64, epochs int, seed uint64, csv bool) (string, error) {
+	format := FormatText
+	if csv {
+		format = FormatCSV
+	}
+	return RenderExperiment(id, scale, epochs, seed, format)
 }
