@@ -28,6 +28,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "dataset size multiplier")
 		epochs  = flag.Int("epochs", 0, "override each experiment's default epoch count (0 = defaults)")
 		seed    = flag.Uint64("seed", 42, "random seed")
+		threads = flag.Int("threads", 0, "CPU threads for tensor kernels and batch scoring (0 = all cores, 1 = serial)")
 		format  = flag.String("format", "text", "output format: text or csv")
 		csv     = flag.Bool("csv", false, "emit CSV instead of tables (deprecated: use -format csv)")
 		outDir  = flag.String("out", "", "also write each experiment's CSV to <dir>/<id>.csv")
@@ -64,7 +65,7 @@ func main() {
 	for _, id := range ids {
 		start := time.Now()
 		rep, err := experiments.Run(id, experiments.Options{
-			Scale: *scale, EpochOverride: *epochs, Seed: *seed, Metrics: reg,
+			Scale: *scale, EpochOverride: *epochs, Seed: *seed, Metrics: reg, Threads: *threads,
 		})
 		if err != nil {
 			fatal(id, err)

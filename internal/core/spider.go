@@ -64,6 +64,10 @@ type Options struct {
 	// Metrics receives cache-internals telemetry (evictions, substitutions,
 	// elastic imp_ratio/σ trajectories); nil disables recording.
 	Metrics *telemetry.Registry
+	// Workers bounds the per-batch scoring fan-out (Grapher.ScoreBatch):
+	// 0 uses GOMAXPROCS, 1 forces serial scoring. Results are identical
+	// either way; this only trades wall-clock for cores.
+	Workers int
 	Seed    uint64
 }
 
@@ -194,6 +198,7 @@ func New(opts Options) (*SpiderCache, error) {
 	if err != nil {
 		return nil, err
 	}
+	grapher.SetWorkers(opts.Workers)
 	smp, err := sampler.NewMultinomial(len(opts.Labels), opts.Seed+7)
 	if err != nil {
 		return nil, err
@@ -280,21 +285,30 @@ func (s *SpiderCache) OnMiss(id, size int) {
 	s.imp.Put(cache.Item{ID: id, Size: size}, s.grapher.ScoreOf(id))
 }
 
-// OnBatchEnd runs the Graph-based IS stage (Algorithm 1 lines 14-22).
+// OnBatchEnd runs the Graph-based IS stage (Algorithm 1 lines 14-22) as a
+// batch: all embeddings are upserted into the ANN index first, then every
+// sample's global score is recomputed over the frozen index — fanned across
+// the worker pool by Grapher.ScoreBatch with results identical to serial.
 func (s *SpiderCache) OnBatchEnd(_ int, fb []policy.Feedback) {
+	if len(fb) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(fb))
+	embs := make([][]float64, 0, len(fb))
+	for _, f := range fb {
+		ids = append(ids, f.ID)
+		embs = append(embs, f.Embedding)
+	}
+	results, err := s.grapher.ScoreBatch(ids, embs)
+	if err != nil {
+		return // out-of-range IDs cannot occur from the trainer
+	}
 	maxDegree := -1
 	var maxRes semgraph.ScoreResult
-	for _, f := range fb {
-		if err := s.grapher.Update(f.ID, f.Embedding); err != nil {
-			continue // out-of-range IDs cannot occur from the trainer
-		}
-		res, err := s.grapher.Score(f.ID, f.Embedding)
-		if err != nil {
-			continue
-		}
-		s.sampler.SetWeight(f.ID, res.Score)
-		s.imp.UpdateScore(f.ID, res.Score)
-		if res.Degree() > maxDegree && len(res.CloseNeighbors) > 0 && !s.hom.Contains(f.ID) {
+	for _, res := range results {
+		s.sampler.SetWeight(res.ID, res.Score)
+		s.imp.UpdateScore(res.ID, res.Score)
+		if res.Degree() > maxDegree && len(res.CloseNeighbors) > 0 && !s.hom.Contains(res.ID) {
 			maxDegree = res.Degree()
 			maxRes = res
 		}

@@ -33,7 +33,7 @@ func Fig8(opt Options) (*Report, error) {
 	var seps []float64
 	var misShares []float64
 	for _, e := range checkpoints {
-		pol, err := BuildPolicy("spider", PolicyParams{Dataset: ds, Capacity: capacityFor(ds, 0.2), Epochs: e, Seed: opt.Seed, Metrics: opt.Metrics})
+		pol, err := BuildPolicy("spider", PolicyParams{Dataset: ds, Capacity: capacityFor(ds, 0.2), Epochs: e, Seed: opt.Seed, Metrics: opt.Metrics, Workers: opt.Threads})
 		if err != nil {
 			return nil, err
 		}

@@ -20,6 +20,7 @@ import (
 
 	"spidercache/internal/metrics"
 	"spidercache/internal/telemetry"
+	"spidercache/internal/tensor"
 )
 
 // Options tunes the scale of every experiment.
@@ -35,6 +36,11 @@ type Options struct {
 	// Metrics receives serving-path and cache telemetry from every
 	// training run the experiment performs; nil disables recording.
 	Metrics *telemetry.Registry
+	// Threads caps CPU parallelism for the run: it is applied to the
+	// tensor kernels (tensor.SetWorkers) and to SpiderCache batch scoring.
+	// 0 keeps the defaults (GOMAXPROCS); 1 forces fully serial execution.
+	// Parallel and serial runs produce identical numbers.
+	Threads int
 }
 
 // DefaultOptions returns full-scale settings.
@@ -134,8 +140,13 @@ func List() []string {
 }
 
 // Run executes the experiment with the given (possibly aliased) ID.
+// A positive opt.Threads caps process-wide tensor-kernel parallelism for
+// the duration of the run (and beyond: tensor.SetWorkers is global state).
 func Run(id string, opt Options) (*Report, error) {
 	opt.fillDefaults()
+	if opt.Threads > 0 {
+		tensor.SetWorkers(opt.Threads)
+	}
 	canonical := id
 	if a, ok := aliases[id]; ok {
 		canonical = a

@@ -6,6 +6,10 @@
 // The index supports dynamic insertion and in-place vector updates — the two
 // operations SpiderCache's per-batch IS loop performs — plus k-NN search
 // with a tunable ef parameter. Distances are Euclidean (the paper's Eq. 1).
+// The index is safe for concurrent use: an RWMutex gives Upsert exclusive
+// access while any number of searches proceed in parallel under the shared
+// lock, matching hnswlib's concurrent read / exclusive write model the paper
+// relies on.
 //
 // The implementation follows the paper's Algorithms 1-5: multi-layer
 // proximity graphs with exponentially decaying layer population, greedy
@@ -17,6 +21,7 @@ package hnsw
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"spidercache/internal/xrand"
 )
@@ -65,9 +70,13 @@ type node struct {
 	links [][]uint32
 }
 
-// Index is an HNSW approximate nearest-neighbour index. It is not safe for
-// concurrent mutation; concurrent read-only searches are safe once built.
+// Index is an HNSW approximate nearest-neighbour index. It is safe for
+// concurrent use: Upsert takes an exclusive lock, searches take a shared
+// lock, so any number of SearchKNN calls proceed in parallel and serialise
+// only against mutations. Search working memory comes from a scratch pool,
+// not the index, so concurrent searches never contend on shared state.
 type Index struct {
+	mu    sync.RWMutex
 	cfg   Config
 	ml    float64 // level normalisation factor 1/ln(M)
 	rng   *xrand.Rand
@@ -75,9 +84,38 @@ type Index struct {
 	byID  map[int]uint32 // external ID -> slot
 	entry int            // slot of entry point, -1 if empty
 	maxLv int
+}
 
-	visited    []uint32 // visit-marking scratch, one epoch counter per slot
-	visitEpoch uint32
+// scratch is the visit-marking working set of one search or insert
+// operation: one epoch counter per slot, bumped per searchLayer call so the
+// array never needs clearing between calls.
+type scratch struct {
+	visited []uint32
+	epoch   uint32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// getScratch returns a scratch sized for the current node count.
+func (ix *Index) getScratch() *scratch {
+	s := scratchPool.Get().(*scratch)
+	if len(s.visited) < len(ix.nodes)+1 {
+		s.visited = make([]uint32, 2*len(ix.nodes)+16)
+		s.epoch = 0
+	}
+	return s
+}
+
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// nextEpoch advances the scratch epoch, clearing the array on wrap-around.
+func (s *scratch) nextEpoch() uint32 {
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.visited)
+		s.epoch = 1
+	}
+	return s.epoch
 }
 
 // New creates an empty index.
@@ -95,10 +133,21 @@ func New(cfg Config) (*Index, error) {
 }
 
 // Len returns the number of indexed points.
-func (ix *Index) Len() int { return len(ix.nodes) }
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.nodes)
+}
 
 // Dim returns the dimensionality of the indexed vectors (0 when empty).
 func (ix *Index) Dim() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.dim()
+}
+
+// dim is Dim without locking, for use under either lock mode.
+func (ix *Index) dim() int {
 	if len(ix.nodes) == 0 {
 		return 0
 	}
@@ -107,12 +156,16 @@ func (ix *Index) Dim() int {
 
 // Contains reports whether id has been indexed.
 func (ix *Index) Contains(id int) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	_, ok := ix.byID[id]
 	return ok
 }
 
 // Vector returns a copy of the stored vector for id, or nil when unknown.
 func (ix *Index) Vector(id int) []float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	slot, ok := ix.byID[id]
 	if !ok {
 		return nil
@@ -138,11 +191,15 @@ func (ix *Index) dist(slot uint32, q []float64) float64 {
 // Upsert inserts the vector under id, or replaces the stored vector when id
 // is already indexed (re-linking the point at every layer it occupies). This
 // is the per-batch "ANN_index.update" operation of the paper's Algorithm 1.
+// Upsert takes the exclusive lock and may run concurrently with SearchKNN
+// callers, which serialise against it.
 func (ix *Index) Upsert(id int, vec []float64) error {
 	if len(vec) == 0 {
 		return fmt.Errorf("hnsw: empty vector for id %d", id)
 	}
-	if d := ix.Dim(); d != 0 && len(vec) != d {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if d := ix.dim(); d != 0 && len(vec) != d {
 		return fmt.Errorf("hnsw: vector dim %d != index dim %d", len(vec), d)
 	}
 	if slot, ok := ix.byID[id]; ok {
@@ -160,7 +217,6 @@ func (ix *Index) insert(id int, vec []float64) {
 	n := &node{id: id, vec: owned, level: level, links: make([][]uint32, level+1)}
 	slot := uint32(len(ix.nodes))
 	ix.nodes = append(ix.nodes, n)
-	ix.visited = append(ix.visited, 0)
 	ix.byID[id] = slot
 
 	if ix.entry < 0 {
@@ -169,6 +225,8 @@ func (ix *Index) insert(id int, vec []float64) {
 		return
 	}
 
+	sc := ix.getScratch()
+	defer putScratch(sc)
 	ep := uint32(ix.entry)
 	epDist := ix.dist(ep, vec)
 	// Greedy descent through layers above the new node's level.
@@ -178,7 +236,7 @@ func (ix *Index) insert(id int, vec []float64) {
 	// Beam search + heuristic linking on each layer from min(level, maxLv)
 	// down to 0.
 	for l := min(level, ix.maxLv); l >= 0; l-- {
-		cands := ix.searchLayer(ep, epDist, vec, ix.cfg.EfConstruction, l)
+		cands := ix.searchLayer(sc, ep, epDist, vec, ix.cfg.EfConstruction, l)
 		selected := ix.selectHeuristic(cands, ix.layerCap(l))
 		n.links[l] = make([]uint32, 0, len(selected))
 		for _, c := range selected {
@@ -208,13 +266,15 @@ func (ix *Index) updateVector(slot uint32, vec []float64) {
 	if len(ix.nodes) == 1 {
 		return
 	}
+	sc := ix.getScratch()
+	defer putScratch(sc)
 	ep := uint32(ix.entry)
 	epDist := ix.dist(ep, n.vec)
 	for l := ix.maxLv; l > n.level; l-- {
 		ep, epDist = ix.greedyStep(ep, epDist, n.vec, l)
 	}
 	for l := min(n.level, ix.maxLv); l >= 0; l-- {
-		cands := ix.searchLayer(ep, epDist, n.vec, ix.cfg.EfConstruction, l)
+		cands := ix.searchLayer(sc, ep, epDist, n.vec, ix.cfg.EfConstruction, l)
 		// Drop self-references before selecting.
 		filtered := cands[:0]
 		for _, c := range cands {
@@ -286,11 +346,12 @@ func (ix *Index) greedyStep(ep uint32, epDist float64, q []float64, l int) (uint
 }
 
 // searchLayer runs best-first beam search on layer l starting from ep and
-// returns up to ef candidates sorted by ascending distance.
-func (ix *Index) searchLayer(ep uint32, epDist float64, q []float64, ef int, l int) []candidate {
-	ix.visitEpoch++
-	epoch := ix.visitEpoch
-	ix.visited[ep] = epoch
+// returns up to ef candidates sorted by ascending distance. Visit marks live
+// in the caller's scratch, so concurrent searches are independent.
+func (ix *Index) searchLayer(sc *scratch, ep uint32, epDist float64, q []float64, ef int, l int) []candidate {
+	epoch := sc.nextEpoch()
+	visited := sc.visited
+	visited[ep] = epoch
 
 	var frontier minHeap
 	var results maxHeap
@@ -307,10 +368,10 @@ func (ix *Index) searchLayer(ep uint32, epDist float64, q []float64, ef int, l i
 			continue
 		}
 		for _, nb := range n.links[l] {
-			if ix.visited[nb] == epoch {
+			if visited[nb] == epoch {
 				continue
 			}
-			ix.visited[nb] = epoch
+			visited[nb] = epoch
 			d := ix.dist(nb, q)
 			if len(results) < ef || d < results.top().dist {
 				frontier.push(candidate{id: nb, dist: d})
@@ -400,19 +461,24 @@ func (ix *Index) SearchKNN(q []float64, k int) []Result {
 }
 
 // SearchKNNEf is SearchKNN with an explicit beam width ef (>= k recommended).
+// Safe for concurrent use; parallel searches share only the read lock.
 func (ix *Index) SearchKNNEf(q []float64, k, ef int) []Result {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if ix.entry < 0 || k <= 0 {
 		return nil
 	}
 	if ef < k {
 		ef = k
 	}
+	sc := ix.getScratch()
+	defer putScratch(sc)
 	ep := uint32(ix.entry)
 	epDist := ix.dist(ep, q)
 	for l := ix.maxLv; l > 0; l-- {
 		ep, epDist = ix.greedyStep(ep, epDist, q, l)
 	}
-	cands := ix.searchLayer(ep, epDist, q, ef, 0)
+	cands := ix.searchLayer(sc, ep, epDist, q, ef, 0)
 	if len(cands) > k {
 		cands = cands[:k]
 	}
@@ -438,6 +504,8 @@ func (ix *Index) randomLevel() int {
 // lists plus per-node overhead. Used by the Table 2 storage-efficiency
 // experiment.
 func (ix *Index) MemoryBytes() int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	var total int64
 	for _, n := range ix.nodes {
 		total += int64(len(n.vec)) * 8

@@ -1,0 +1,90 @@
+package hnsw
+
+import (
+	"sync"
+	"testing"
+
+	"spidercache/internal/xrand"
+)
+
+// TestConcurrentUpsertSearch stresses the RWMutex contract: writers upsert
+// (inserts and in-place updates) while readers run SearchKNN and the other
+// read-only accessors. Run under -race this verifies no search touches index
+// state mutably and no mutation escapes the exclusive lock.
+func TestConcurrentUpsertSearch(t *testing.T) {
+	ix, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		dim      = 16
+		writers  = 4
+		readers  = 4
+		nPerGoro = 150
+	)
+	// Seed a few points so early searches have something to traverse.
+	seed := xrand.New(99)
+	for i := 0; i < 32; i++ {
+		if err := ix.Upsert(i, randomVec(dim, seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(1000 + w))
+			for i := 0; i < nPerGoro; i++ {
+				// Half fresh inserts, half updates of the seeded range.
+				id := 32 + w*nPerGoro + i
+				if i%2 == 1 {
+					id = i % 32
+				}
+				if err := ix.Upsert(id, randomVec(dim, rng)); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(2000 + r))
+			for i := 0; i < nPerGoro; i++ {
+				q := randomVec(dim, rng)
+				res := ix.SearchKNN(q, 8)
+				for j := 1; j < len(res); j++ {
+					if res[j].Dist < res[j-1].Dist {
+						t.Errorf("reader %d: results unsorted", r)
+						return
+					}
+				}
+				_ = ix.Len()
+				_ = ix.Contains(i % 32)
+				_ = ix.Vector(i % 32)
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	if got := ix.Len(); got < 32 {
+		t.Fatalf("index shrank to %d points", got)
+	}
+	// The index must still be coherent after the storm.
+	res := ix.SearchKNN(randomVec(dim, seed), 10)
+	if len(res) == 0 {
+		t.Fatal("no results after concurrent stress")
+	}
+}
+
+func randomVec(dim int, rng *xrand.Rand) []float64 {
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}

@@ -103,6 +103,11 @@ type ScoreResult struct {
 func (r ScoreResult) Degree() int { return len(r.Neighbors) }
 
 // Grapher maintains global importance scores over the training set.
+//
+// Single calls (Update, Score, the stat readers) are not safe for concurrent
+// use; ScoreBatch is the concurrency entry point — it fans per-sample
+// scoring across the worker pool internally while presenting a serial
+// interface to the caller.
 type Grapher struct {
 	cfg      Config
 	searcher NeighborSearcher
@@ -113,6 +118,23 @@ type Grapher struct {
 	// d < -ln(alpha)/lambda.
 	distThresh    float64
 	homDistThresh float64
+
+	// workers is the ScoreBatch fan-out; 0 means GOMAXPROCS.
+	workers int
+	// normBuf is the reusable normalisation buffer for the serial
+	// Update/Score path, so per-sample scoring stops allocating.
+	normBuf []float64
+
+	// Incrementally maintained score statistics: the elastic manager reads
+	// σ every epoch and the substitution gate reads the mean, so keeping
+	// them here turns those former O(n) scans into O(1) reads. Maintained
+	// in Welford form (running mean + M2) rather than sum/sum-of-squares,
+	// because batches of near-identical scores would lose the E[x²]−E[x]²
+	// form to cancellation. recordScore keeps them in sync with
+	// scores/scored, retiring the old contribution on rescoring.
+	statN    int
+	statMean float64
+	statM2   float64 // sum of squared deviations from the running mean
 }
 
 // New builds a Grapher over a dataset with the given per-sample labels.
@@ -151,20 +173,32 @@ func (g *Grapher) Similarity(dist float64) float64 {
 // is the default in embedding retrieval systems. Zero vectors are returned
 // unchanged.
 func Normalize(vec []float64) []float64 {
-	out := make([]float64, len(vec))
+	return NormalizeInto(nil, vec)
+}
+
+// NormalizeInto is Normalize writing into dst, reusing its storage when it
+// has sufficient capacity (dst may be nil or an earlier return value of this
+// function). It returns the normalised slice. vec is never modified, and
+// the result aliases dst, not vec.
+func NormalizeInto(dst, vec []float64) []float64 {
+	if cap(dst) < len(vec) {
+		dst = make([]float64, len(vec))
+	} else {
+		dst = dst[:len(vec)]
+	}
 	var n float64
 	for _, v := range vec {
 		n += v * v
 	}
 	if n == 0 {
-		copy(out, vec)
-		return out
+		copy(dst, vec)
+		return dst
 	}
 	n = 1 / math.Sqrt(n)
 	for i, v := range vec {
-		out[i] = v * n
+		dst[i] = v * n
 	}
-	return out
+	return dst
 }
 
 // Update inserts or refreshes the embedding of sample id in the ANN index
@@ -174,7 +208,10 @@ func (g *Grapher) Update(id int, embedding []float64) error {
 	if id < 0 || id >= len(g.labels) {
 		return fmt.Errorf("semgraph: id %d out of range [0,%d)", id, len(g.labels))
 	}
-	return g.searcher.Upsert(id, Normalize(embedding))
+	// Searchers copy the vector on Upsert, so the reusable buffer is safe
+	// to hand over and immediately reuse.
+	g.normBuf = NormalizeInto(g.normBuf, embedding)
+	return g.searcher.Upsert(id, g.normBuf)
 }
 
 // Score computes the global importance of sample id from its current
@@ -184,8 +221,18 @@ func (g *Grapher) Score(id int, embedding []float64) (ScoreResult, error) {
 	if id < 0 || id >= len(g.labels) {
 		return ScoreResult{}, fmt.Errorf("semgraph: id %d out of range [0,%d)", id, len(g.labels))
 	}
+	g.normBuf = NormalizeInto(g.normBuf, embedding)
+	res := g.computeScore(id, g.normBuf)
+	g.recordScore(res)
+	return res, nil
+}
+
+// computeScore evaluates Eq. 4 for sample id from its normalised embedding q
+// (lines 16-21 of Algorithm 1). It only reads grapher state and the
+// searcher, so ScoreBatch may call it from many workers at once.
+func (g *Grapher) computeScore(id int, q []float64) ScoreResult {
 	res := ScoreResult{ID: id, Same: 1} // self counts as a same-class neighbour
-	hits := g.searcher.SearchKNN(Normalize(embedding), g.cfg.K)
+	hits := g.searcher.SearchKNN(q, g.cfg.K)
 	for _, h := range hits {
 		if h.ID == id {
 			continue
@@ -204,9 +251,45 @@ func (g *Grapher) Score(id int, embedding []float64) (ScoreResult, error) {
 		}
 	}
 	res.Score = math.Log(1/float64(res.Same) + float64(res.Other)/float64(g.cfg.NeighborMax) + 1)
+	return res
+}
+
+// recordScore installs a computed score into the global table, keeping the
+// incremental statistics in sync. Rescoring a sample first retires its
+// previous contribution.
+func (g *Grapher) recordScore(res ScoreResult) {
+	id := res.ID
+	if g.scored[id] {
+		g.statRemove(g.scores[id])
+	} else {
+		g.scored[id] = true
+	}
 	g.scores[id] = res.Score
-	g.scored[id] = true
-	return res, nil
+	g.statAdd(res.Score)
+}
+
+// statAdd folds one score into the Welford accumulators.
+func (g *Grapher) statAdd(x float64) {
+	g.statN++
+	d := x - g.statMean
+	g.statMean += d / float64(g.statN)
+	g.statM2 += d * (x - g.statMean)
+}
+
+// statRemove retires one previously added score (reverse Welford update).
+func (g *Grapher) statRemove(x float64) {
+	if g.statN <= 1 {
+		g.statN, g.statMean, g.statM2 = 0, 0, 0
+		return
+	}
+	d := x - g.statMean
+	newMean := g.statMean - d/float64(g.statN-1)
+	g.statM2 -= d * (x - newMean)
+	if g.statM2 < 0 {
+		g.statM2 = 0
+	}
+	g.statMean = newMean
+	g.statN--
 }
 
 // ScoreOf returns the last recorded global score for id (0 before the first
@@ -218,54 +301,30 @@ func (g *Grapher) ScoreOf(id int) float64 { return g.scores[id] }
 func (g *Grapher) Scores() []float64 { return g.scores }
 
 // ScoredCount reports how many samples have been scored at least once.
-func (g *Grapher) ScoredCount() int {
-	n := 0
-	for _, s := range g.scored {
-		if s {
-			n++
-		}
-	}
-	return n
-}
+// O(1): maintained incrementally by recordScore.
+func (g *Grapher) ScoredCount() int { return g.statN }
 
 // ScoreMean returns the mean score over all scored samples (0 when none).
+// O(1): maintained incrementally by recordScore.
 func (g *Grapher) ScoreMean() float64 {
-	var sum, n float64
-	for i, ok := range g.scored {
-		if ok {
-			sum += g.scores[i]
-			n++
-		}
-	}
-	if n == 0 {
+	if g.statN == 0 {
 		return 0
 	}
-	return sum / n
+	return g.statMean
 }
 
 // ScoreStd returns the standard deviation of the scores of all scored
 // samples — the σ the Elastic Cache Manager's Importance Monitor tracks
 // (Eq. 5). It returns 0 when fewer than two samples have been scored.
+// O(1): read from the Welford accumulators maintained by recordScore (the
+// former per-call scan was O(n) on every batch of the hot loop, since the
+// elastic manager reads σ each epoch and the substitution gate reads the
+// mean).
 func (g *Grapher) ScoreStd() float64 {
-	var sum, n float64
-	for i, ok := range g.scored {
-		if ok {
-			sum += g.scores[i]
-			n++
-		}
-	}
-	if n < 2 {
+	if g.statN < 2 {
 		return 0
 	}
-	mean := sum / n
-	var ss float64
-	for i, ok := range g.scored {
-		if ok {
-			d := g.scores[i] - mean
-			ss += d * d
-		}
-	}
-	return math.Sqrt(ss / n)
+	return math.Sqrt(g.statM2 / float64(g.statN))
 }
 
 // ExportScores returns a copy of the global score table (NaN marks samples
@@ -292,8 +351,7 @@ func (g *Grapher) ImportScores(scores []float64) error {
 		if math.IsNaN(s) {
 			continue
 		}
-		g.scores[i] = s
-		g.scored[i] = true
+		g.recordScore(ScoreResult{ID: i, Score: s})
 	}
 	return nil
 }

@@ -4,11 +4,17 @@
 // It is intentionally small: row-major float64 matrices with the handful of
 // kernels a multilayer perceptron needs (matmul with optional transposes,
 // broadcast row operations, elementwise maps, reductions). Kernels are
-// written cache-friendly (ikj loop order) but make no attempt at SIMD; the
-// experiment workloads are sized for a single CPU.
+// written cache-friendly (ikj loop order) and, for large enough products,
+// fan out across a worker pool partitioned by output row (see parallel.go);
+// results are bitwise-identical to the serial kernels. SetWorkers gates the
+// parallelism; small matrices always take the serial fallback.
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"spidercache/internal/par"
+)
 
 // Matrix is a dense row-major matrix of float64 values.
 type Matrix struct {
@@ -78,8 +84,20 @@ func MatMul(dst, a, b *Matrix) *Matrix {
 		}
 		dst.Zero()
 	}
+	if w := planWorkers(a.Rows, a.Rows*a.Cols*b.Cols); w > 1 {
+		parallelKernels.Add(1)
+		par.For(w, a.Rows, func(r0, r1 int) { matMulRows(dst, a, b, r0, r1) })
+	} else {
+		serialKernels.Add(1)
+		matMulRows(dst, a, b, 0, a.Rows)
+	}
+	return dst
+}
+
+// matMulRows computes dst rows [r0, r1) of a*b with the ikj kernel.
+func matMulRows(dst, a, b *Matrix, r0, r1 int) {
 	n := b.Cols
-	for i := 0; i < a.Rows; i++ {
+	for i := r0; i < r1; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
 		for k, av := range arow {
@@ -92,7 +110,6 @@ func MatMul(dst, a, b *Matrix) *Matrix {
 			}
 		}
 	}
-	return dst
 }
 
 // MatMulATB computes dst = aᵀ * b. Shapes: (k x m)ᵀ * (k x n) -> (m x n).
@@ -108,11 +125,26 @@ func MatMulATB(dst, a, b *Matrix) *Matrix {
 		}
 		dst.Zero()
 	}
+	if w := planWorkers(a.Cols, a.Rows*a.Cols*b.Cols); w > 1 {
+		parallelKernels.Add(1)
+		par.For(w, a.Cols, func(i0, i1 int) { matMulATBRows(dst, a, b, i0, i1) })
+	} else {
+		serialKernels.Add(1)
+		matMulATBRows(dst, a, b, 0, a.Cols)
+	}
+	return dst
+}
+
+// matMulATBRows computes dst rows [i0, i1) of aᵀ*b. The k loop stays
+// outermost so each dst element accumulates in the same ascending-k order as
+// the serial kernel (bitwise-identical results).
+func matMulATBRows(dst, a, b *Matrix, i0, i1 int) {
 	n := b.Cols
 	for k := 0; k < a.Rows; k++ {
 		arow := a.Row(k)
 		brow := b.Row(k)
-		for i, av := range arow {
+		for i := i0; i < i1; i++ {
+			av := arow[i]
 			if av == 0 {
 				continue
 			}
@@ -122,7 +154,6 @@ func MatMulATB(dst, a, b *Matrix) *Matrix {
 			}
 		}
 	}
-	return dst
 }
 
 // MatMulABT computes dst = a * bᵀ. Shapes: (m x k) * (n x k)ᵀ -> (m x n).
@@ -137,7 +168,19 @@ func MatMulABT(dst, a, b *Matrix) *Matrix {
 			panic("tensor: matmulABT dst shape mismatch")
 		}
 	}
-	for i := 0; i < a.Rows; i++ {
+	if w := planWorkers(a.Rows, a.Rows*a.Cols*b.Rows); w > 1 {
+		parallelKernels.Add(1)
+		par.For(w, a.Rows, func(r0, r1 int) { matMulABTRows(dst, a, b, r0, r1) })
+	} else {
+		serialKernels.Add(1)
+		matMulABTRows(dst, a, b, 0, a.Rows)
+	}
+	return dst
+}
+
+// matMulABTRows computes dst rows [r0, r1) of a*bᵀ.
+func matMulABTRows(dst, a, b *Matrix, r0, r1 int) {
+	for i := r0; i < r1; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
 		for j := 0; j < b.Rows; j++ {
@@ -149,7 +192,6 @@ func MatMulABT(dst, a, b *Matrix) *Matrix {
 			drow[j] = s
 		}
 	}
-	return dst
 }
 
 // AddRowVec adds vector v (length Cols) to every row of m in place.

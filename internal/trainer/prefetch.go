@@ -1,0 +1,118 @@
+package trainer
+
+import (
+	"time"
+
+	"spidercache/internal/dataset"
+	"spidercache/internal/policy"
+	"spidercache/internal/storage"
+	"spidercache/internal/telemetry"
+	"spidercache/internal/tensor"
+)
+
+// batchData is one fully served mini-batch: the Stage 1 work of Algorithm 1
+// (cache lookups, miss fetches, substitution, tensor materialisation) plus
+// the serving counters, detached from the epoch loop so it can run ahead of
+// it on the prefetch goroutine.
+type batchData struct {
+	served []int
+	x      *tensor.Matrix
+	labels []int
+
+	requests, misses, hitCache, hitSub int
+	missLoad, hitLoad                  time.Duration
+}
+
+// serveBatch performs the data-loading stage for one mini-batch: every
+// requested sample is served through the policy's caches (miss -> remote
+// storage fetch + OnMiss admission), then the feature tensor is built.
+//
+// It calls pol.Lookup and pol.OnMiss — policies are single-threaded, so
+// callers must never run serveBatch concurrently with any other policy
+// call. The prefetch pipeline upholds this by only overlapping serveBatch
+// with the forward pass, which touches no policy state.
+func serveBatch(pol policy.Policy, store *storage.Store, ds *dataset.Dataset, batch []int, tel *runTelemetry) *batchData {
+	d := &batchData{served: make([]int, len(batch))}
+	for i, id := range batch {
+		lk := pol.Lookup(id)
+		d.served[i] = lk.ServedID
+		d.requests++
+		switch lk.Source {
+		case policy.SourceMiss:
+			d.misses++
+			dur := store.FetchRemote(ds.Payload[id])
+			d.missLoad += dur
+			tel.lookMiss.Inc()
+			tel.fetchRemote.Observe(dur.Seconds())
+			pol.OnMiss(id, ds.Payload[id])
+		case policy.SourceCache:
+			d.hitCache++
+			dur := store.FetchMemory(ds.Payload[lk.ServedID])
+			d.hitLoad += dur
+			tel.lookCache.Inc()
+			tel.fetchMemory.Observe(dur.Seconds())
+		case policy.SourceSubstitute:
+			d.hitSub++
+			dur := store.FetchMemory(ds.Payload[lk.ServedID])
+			d.hitLoad += dur
+			tel.lookSub.Inc()
+			tel.fetchMemory.Observe(dur.Seconds())
+		}
+	}
+	d.x, d.labels = batchTensors(ds, d.served)
+	return d
+}
+
+// prefetchResult carries a served batch or the panic that interrupted it.
+type prefetchResult struct {
+	data     *batchData
+	panicVal any
+}
+
+// prefetcher runs serveBatch for batch t+1 on a goroutine while batch t
+// computes, giving the epoch loop a one-deep pipeline. A panic on the
+// serving goroutine is captured and re-raised at the join point, so errors
+// shut the pipeline down cleanly on the caller's stack instead of crashing
+// the process from a detached goroutine.
+type prefetcher struct {
+	ch chan prefetchResult
+
+	hit      *telemetry.Counter
+	stall    *telemetry.Counter
+	stallSec *telemetry.Histogram
+}
+
+// spawn starts serving the next batch in the background.
+func (p *prefetcher) spawn(fn func() *batchData) {
+	ch := make(chan prefetchResult, 1)
+	p.ch = ch
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- prefetchResult{panicVal: r}
+			}
+		}()
+		ch <- prefetchResult{data: fn()}
+	}()
+}
+
+// join collects the in-flight batch, recording whether the pipeline kept up
+// (the batch was ready before training needed it) or stalled, and for how
+// long. Re-raises any panic captured on the serving goroutine.
+func (p *prefetcher) join() *batchData {
+	var r prefetchResult
+	select {
+	case r = <-p.ch:
+		p.hit.Inc()
+	default:
+		start := time.Now()
+		r = <-p.ch
+		p.stall.Inc()
+		p.stallSec.Observe(time.Since(start).Seconds())
+	}
+	p.ch = nil
+	if r.panicVal != nil {
+		panic(r.panicVal)
+	}
+	return r.data
+}

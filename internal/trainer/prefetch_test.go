@@ -1,0 +1,143 @@
+// External test package: these tests build policies through the experiments
+// registry, which itself imports trainer.
+package trainer_test
+
+import (
+	"reflect"
+	"testing"
+
+	"spidercache/internal/dataset"
+	"spidercache/internal/experiments"
+	"spidercache/internal/nn"
+	"spidercache/internal/policy"
+	"spidercache/internal/trainer"
+)
+
+func prefetchDataset(tb testing.TB) *dataset.Dataset {
+	tb.Helper()
+	ds, err := dataset.New(dataset.Config{
+		Name: "tiny", Classes: 4, TrainSize: 400, TestSize: 200, Dim: 8,
+		ClusterStd: 0.8, BoundaryFrac: 0.1, IsolatedFrac: 0.02, HardFrac: 0.05,
+		PayloadMean: 6144, Seed: 3,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ds
+}
+
+func prefetchConfig(tb testing.TB, epochs int, prefetch bool) trainer.Config {
+	return trainer.Config{
+		Dataset: prefetchDataset(tb), Model: nn.ResNet18, Epochs: epochs,
+		BatchSize: 64, Workers: 1, PipelineIS: true, Prefetch: prefetch, Seed: 7,
+	}
+}
+
+// runWith trains a fresh policy and returns the result stripped of the
+// model pointer, so results are directly comparable.
+func runWith(t *testing.T, cfg trainer.Config, build func() policy.Policy) *trainer.Result {
+	t.Helper()
+	res, err := trainer.Run(cfg, build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.FinalModel = nil
+	return res
+}
+
+// TestPrefetchDeterministic runs the full SpiderCache policy twice with the
+// pipeline on: identical seeds must give identical results in every field
+// (epoch stats, simulated times, accuracy trajectory).
+func TestPrefetchDeterministic(t *testing.T) {
+	cfg := prefetchConfig(t, 3, true)
+	build := func() policy.Policy {
+		pol, err := experiments.BuildPolicy("spider", experiments.PolicyParams{
+			Dataset: cfg.Dataset, Capacity: 80, Epochs: cfg.Epochs, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pol
+	}
+	a := runWith(t, cfg, build)
+	b := runWith(t, cfg, build)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("prefetch runs diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestPrefetchMatchesSerialForStatelessHooks: for a policy whose OnBatchEnd
+// and BackpropWeights do not influence serving (baseline LRU), reordering
+// the next batch's lookups ahead of them is unobservable — the pipeline must
+// reproduce the serial loop bit for bit.
+func TestPrefetchMatchesSerialForStatelessHooks(t *testing.T) {
+	build := func() policy.Policy {
+		pol, err := policy.NewBaselineLRU(400, 80, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pol
+	}
+	a := runWith(t, prefetchConfig(t, 3, false), build)
+	b := runWith(t, prefetchConfig(t, 3, true), build)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("prefetch changed a hook-stateless run:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// panicPolicy wraps a policy and panics on the nth Lookup, emulating a
+// loader fault on the prefetch goroutine.
+type panicPolicy struct {
+	policy.Policy
+	lookups, panicAt int
+}
+
+func (p *panicPolicy) Lookup(id int) policy.Lookup {
+	p.lookups++
+	if p.lookups == p.panicAt {
+		panic("loader fault")
+	}
+	return p.Policy.Lookup(id)
+}
+
+// TestPrefetchPanicPropagates checks clean shutdown on error: a panic on
+// the serving goroutine must resurface on the training goroutine's stack
+// (where Run's caller can recover it), not crash the process detached.
+func TestPrefetchPanicPropagates(t *testing.T) {
+	cfg := prefetchConfig(t, 1, true)
+	inner, err := policy.NewBaselineLRU(400, 80, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch size 64 on 400 samples: lookup 100 lands mid-epoch, inside a
+	// prefetched batch.
+	pol := &panicPolicy{Policy: inner, panicAt: 100}
+	defer func() {
+		if r := recover(); r != "loader fault" {
+			t.Fatalf("recovered %v, want loader fault", r)
+		}
+	}()
+	_, _ = trainer.Run(cfg, pol)
+	t.Fatal("run completed despite loader fault")
+}
+
+func benchEpoch(b *testing.B, prefetch bool) {
+	cfg := prefetchConfig(b, 1, prefetch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol, err := experiments.BuildPolicy("spider", experiments.PolicyParams{
+			Dataset: cfg.Dataset, Capacity: 200, Epochs: 1, Seed: 11,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := trainer.Run(cfg, pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// End-to-end epoch benchmarks: the same training run with the serial loop
+// and with the one-deep prefetch pipeline.
+func BenchmarkEpochSerial(b *testing.B)   { benchEpoch(b, false) }
+func BenchmarkEpochPrefetch(b *testing.B) { benchEpoch(b, true) }

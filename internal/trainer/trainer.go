@@ -23,6 +23,7 @@ import (
 
 	"spidercache/internal/dataset"
 	"spidercache/internal/nn"
+	"spidercache/internal/par"
 	"spidercache/internal/policy"
 	"spidercache/internal/simclock"
 	"spidercache/internal/storage"
@@ -56,6 +57,15 @@ type Config struct {
 	// max(loading, compute), and removing I/O stalls translates almost 1:1
 	// into wall-clock savings, as in the paper's end-to-end numbers.
 	SerialLoading bool
+	// Prefetch overlaps the real (host CPU) work too: while batch t runs
+	// its forward pass, a goroutine serves batch t+1 (cache lookups, miss
+	// fetches, substitution, tensor build). The pipeline is one deep and
+	// joins before any further policy call, so policies stay effectively
+	// single-threaded and runs are deterministic. Note the serving of batch
+	// t+1 then observes cache state from before batch t's IS stage (the
+	// usual one-batch staleness of a prefetching loader), so per-epoch hit
+	// counts can differ slightly from the non-prefetching loop. Default off.
+	Prefetch bool
 	// PreprocessCost is the per-batch decode/collate charge (the paper's
 	// lightweight Preprocessing stage, Fig 3a).
 	PreprocessCost time.Duration
@@ -211,6 +221,21 @@ type runTelemetry struct {
 	accuracy *telemetry.Gauge
 	loss     *telemetry.Gauge
 	epochs   *telemetry.Counter
+
+	prefetchHit   *telemetry.Counter   // next batch was ready when needed
+	prefetchStall *telemetry.Counter   // training waited on the loader
+	prefetchWait  *telemetry.Histogram // real seconds spent waiting per stall
+
+	// Worker-pool utilisation, exported as per-epoch deltas of the
+	// process-global par/tensor counters (training runs execute serially,
+	// so the deltas attribute cleanly to this run's epochs).
+	poolTasks   *telemetry.Counter // par tasks executed by pool workers
+	inlineTasks *telemetry.Counter // par tasks executed inline on the caller
+	kernelsPar  *telemetry.Counter
+	kernelsSer  *telemetry.Counter
+	poolUtil    *telemetry.Gauge // pooled share of the epoch's par tasks
+
+	lastPool, lastInline, lastKernPar, lastKernSer int64
 }
 
 func newRunTelemetry(reg *telemetry.Registry) runTelemetry {
@@ -220,6 +245,13 @@ func newRunTelemetry(reg *telemetry.Registry) runTelemetry {
 	reg.Describe("epoch_seconds", "simulated wall time per epoch (p50/p95/p99)")
 	reg.Describe("train_accuracy", "held-out Top-1 accuracy after the last epoch")
 	reg.Describe("train_loss", "mean training loss of the last epoch")
+	reg.Describe("prefetch_batches_total", "prefetched batch joins by outcome (hit = ready in time, stall = training waited)")
+	reg.Describe("prefetch_stall_seconds", "real time spent waiting on the prefetch loader per stall")
+	reg.Describe("pool_tasks_total", "CPU worker-pool task blocks by execution site (pooled/inline)")
+	reg.Describe("tensor_kernels_total", "tensor kernel dispatches by mode (parallel/serial)")
+	reg.Describe("pool_utilization", "pooled share of the last epoch's worker-pool task blocks")
+	pooled, inline := par.Stats()
+	kp, ks := tensor.KernelStats()
 	return runTelemetry{
 		lookCache:   reg.Counter("lookups_total", telemetry.Labels{"source": "cache"}),
 		lookSub:     reg.Counter("lookups_total", telemetry.Labels{"source": "substitute"}),
@@ -231,7 +263,35 @@ func newRunTelemetry(reg *telemetry.Registry) runTelemetry {
 		accuracy:    reg.Gauge("train_accuracy", nil),
 		loss:        reg.Gauge("train_loss", nil),
 		epochs:      reg.Counter("epochs_total", nil),
+
+		prefetchHit:   reg.Counter("prefetch_batches_total", telemetry.Labels{"result": "hit"}),
+		prefetchStall: reg.Counter("prefetch_batches_total", telemetry.Labels{"result": "stall"}),
+		prefetchWait:  reg.Histogram("prefetch_stall_seconds", nil),
+
+		poolTasks:   reg.Counter("pool_tasks_total", telemetry.Labels{"exec": "pooled"}),
+		inlineTasks: reg.Counter("pool_tasks_total", telemetry.Labels{"exec": "inline"}),
+		kernelsPar:  reg.Counter("tensor_kernels_total", telemetry.Labels{"mode": "parallel"}),
+		kernelsSer:  reg.Counter("tensor_kernels_total", telemetry.Labels{"mode": "serial"}),
+		poolUtil:    reg.Gauge("pool_utilization", nil),
+
+		lastPool: pooled, lastInline: inline, lastKernPar: kp, lastKernSer: ks,
 	}
+}
+
+// flushPoolStats publishes the per-epoch deltas of the process-global
+// worker-pool and tensor-kernel counters, plus the epoch's pooled share.
+func (t *runTelemetry) flushPoolStats() {
+	pooled, inline := par.Stats()
+	kp, ks := tensor.KernelStats()
+	dPool, dInline := pooled-t.lastPool, inline-t.lastInline
+	t.poolTasks.Add(dPool)
+	t.inlineTasks.Add(dInline)
+	t.kernelsPar.Add(kp - t.lastKernPar)
+	t.kernelsSer.Add(ks - t.lastKernSer)
+	if total := dPool + dInline; total > 0 {
+		t.poolUtil.Set(float64(dPool) / float64(total))
+	}
+	t.lastPool, t.lastInline, t.lastKernPar, t.lastKernSer = pooled, inline, kp, ks
 }
 
 // Run trains cfg.Epochs epochs under pol and returns the full record.
@@ -279,6 +339,7 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 		tel.accuracy.Set(st.Accuracy)
 		tel.loss.Set(st.TrainLoss)
 		tel.epochs.Inc()
+		tel.flushPoolStats()
 		if rep, ok := pol.(policy.ScoreStdReporter); ok {
 			st.ScoreStd = rep.ScoreStd()
 		}
@@ -300,70 +361,73 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 
 // runEpoch executes one epoch and returns its stats (accuracy filled by the
 // caller).
+//
+// With cfg.Prefetch the epoch loop is a one-deep pipeline: while batch t's
+// forward pass runs, a goroutine serves batch t+1. The pipeline joins
+// before BackpropWeights, so Lookup/OnMiss for batch t+1 never run
+// concurrently with any other policy call — the policy remains effectively
+// single-threaded, and the policy-call order (hence the result) is
+// deterministic.
 func runEpoch(cfg Config, pol policy.Policy, store *storage.Store, mlp *nn.MLP, clock *simclock.Clock, epoch int, tel *runTelemetry) EpochStats {
 	ds := cfg.Dataset
 	st := EpochStats{Epoch: epoch}
 	order := pol.EpochOrder(epoch)
 	w := float64(cfg.Workers)
 
-	var lossSum float64
-	var lossN int
-	span := clock.Start()
-
+	var batches [][]int
 	for start := 0; start < len(order); start += cfg.BatchSize {
 		end := start + cfg.BatchSize
 		if end > len(order) {
 			end = len(order)
 		}
-		batch := order[start:end]
+		batches = append(batches, order[start:end])
+	}
 
-		// --- Data Loading: serve each requested sample. Misses share the
-		// remote link across workers; hits are served from worker-local
-		// memory tiers and scale with the worker count.
-		var missLoad, hitLoad time.Duration
-		served := make([]int, len(batch))
-		for i, id := range batch {
-			lk := pol.Lookup(id)
-			served[i] = lk.ServedID
-			st.Requests++
-			switch lk.Source {
-			case policy.SourceMiss:
-				st.Misses++
-				d := store.FetchRemote(ds.Payload[id])
-				missLoad += d
-				tel.lookMiss.Inc()
-				tel.fetchRemote.Observe(d.Seconds())
-				pol.OnMiss(id, ds.Payload[id])
-			case policy.SourceCache:
-				st.HitCache++
-				d := store.FetchMemory(ds.Payload[lk.ServedID])
-				hitLoad += d
-				tel.lookCache.Inc()
-				tel.fetchMemory.Observe(d.Seconds())
-			case policy.SourceSubstitute:
-				st.HitSub++
-				d := store.FetchMemory(ds.Payload[lk.ServedID])
-				hitLoad += d
-				tel.lookSub.Inc()
-				tel.fetchMemory.Observe(d.Seconds())
-			}
+	var lossSum float64
+	var lossN int
+	span := clock.Start()
+
+	pf := prefetcher{hit: tel.prefetchHit, stall: tel.prefetchStall, stallSec: tel.prefetchWait}
+	var pending *batchData
+	for b := 0; b < len(batches); b++ {
+		// --- Data Loading: serve each requested sample, either prefetched
+		// during the previous iteration or inline. Misses share the remote
+		// link across workers; hits are served from worker-local memory
+		// tiers and scale with the worker count.
+		data := pending
+		pending = nil
+		if data == nil {
+			data = serveBatch(pol, store, ds, batches[b], tel)
 		}
-		load := missLoad + time.Duration(float64(hitLoad)/w)
+		st.Requests += data.requests
+		st.Misses += data.misses
+		st.HitCache += data.hitCache
+		st.HitSub += data.hitSub
+		load := data.missLoad + time.Duration(float64(data.hitLoad)/w)
+
+		// Start serving the next batch; it overlaps only the forward pass
+		// below, which makes no policy calls.
+		if cfg.Prefetch && b+1 < len(batches) {
+			next := batches[b+1]
+			pf.spawn(func() *batchData { return serveBatch(pol, store, ds, next, tel) })
+		}
 
 		// --- Preprocessing + Computation (forward/backward on the real
 		// learner; virtual costs from the model profile).
-		x, labels := batchTensors(ds, served)
-		fr := mlp.Forward(x, labels)
-		fb := make([]policy.Feedback, len(served))
-		for i, id := range served {
+		fr := mlp.Forward(data.x, data.labels)
+		fb := make([]policy.Feedback, len(data.served))
+		for i, id := range data.served {
 			fb[i] = policy.Feedback{
 				ID:        id,
 				Loss:      fr.Losses[i],
 				Embedding: fr.Embeddings[i],
-				Correct:   fr.Pred[i] == labels[i],
+				Correct:   fr.Pred[i] == data.labels[i],
 			}
 			lossSum += fr.Losses[i]
 			lossN++
+		}
+		if cfg.Prefetch && b+1 < len(batches) {
+			pending = pf.join()
 		}
 		weights := pol.BackpropWeights(fb)
 		mlp.Backward(weights)

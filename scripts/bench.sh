@@ -1,0 +1,18 @@
+#!/bin/sh
+# Runs the parallel hot-path benchmarks: tensor matmul kernels (serial vs
+# parallel vs worker sweep), semantic batch scoring, and end-to-end training
+# epochs with and without the prefetch pipeline.
+#
+# Default is a -benchtime=1x smoke run (each benchmark executes once, so CI
+# catches breakage cheaply). Pass a different -benchtime for real numbers:
+#
+#   scripts/bench.sh                 # smoke run
+#   BENCHTIME=2s scripts/bench.sh    # measurement run
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+
+go test -run '^$' -bench 'BenchmarkMatMul' -benchtime "$BENCHTIME" ./internal/tensor/
+go test -run '^$' -bench 'BenchmarkScoreBatch' -benchtime "$BENCHTIME" ./internal/semgraph/
+go test -run '^$' -bench 'BenchmarkEpoch' -benchtime "$BENCHTIME" ./internal/trainer/

@@ -27,6 +27,7 @@ import (
 	"spidercache/internal/experiments"
 	"spidercache/internal/nn"
 	"spidercache/internal/telemetry"
+	"spidercache/internal/tensor"
 	"spidercache/internal/trainer"
 )
 
@@ -134,6 +135,17 @@ type TrainConfig struct {
 	// SerialLoading disables the DataLoader prefetch overlap, charging
 	// loading and compute sequentially (stall accounting).
 	SerialLoading bool
+	// Threads caps real CPU parallelism (tensor kernels and SpiderCache
+	// batch scoring): 0 keeps the defaults (all cores), 1 forces serial
+	// execution. Parallel and serial runs produce identical numbers; this
+	// only trades wall-clock for cores. Distinct from Workers, which
+	// simulates GPUs inside the cost model.
+	Threads int
+	// Prefetch overlaps the serving of batch t+1 (cache lookups, miss
+	// fetches, tensor build) with batch t's forward pass on a host
+	// goroutine. Deterministic; see trainer.Config.Prefetch for the
+	// one-batch staleness caveat. Default off.
+	Prefetch bool
 	// Metrics receives live serving-path and cache telemetry (per-tier
 	// lookup counters, fetch-latency histograms, elastic imp_ratio/σ
 	// gauges); nil disables recording. See internal/telemetry and the
@@ -249,6 +261,9 @@ func train(cfg TrainConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Threads > 0 {
+		tensor.SetWorkers(cfg.Threads)
+	}
 	capacity := int(float64(cfg.Dataset.Len()) * cfg.CacheFraction)
 	pol, err := experiments.BuildPolicy(cfg.Policy, experiments.PolicyParams{
 		Dataset:        cfg.Dataset.ds,
@@ -259,6 +274,7 @@ func train(cfg TrainConfig) (*Result, error) {
 		REnd:           cfg.REnd,
 		DisableElastic: cfg.StaticRatio,
 		Metrics:        cfg.Metrics,
+		Workers:        cfg.Threads,
 	})
 	if err != nil {
 		return nil, err
@@ -271,6 +287,7 @@ func train(cfg TrainConfig) (*Result, error) {
 		Workers:       cfg.Workers,
 		PipelineIS:    !cfg.DisablePipeline,
 		SerialLoading: cfg.SerialLoading,
+		Prefetch:      cfg.Prefetch,
 		Metrics:       cfg.Metrics,
 		Seed:          cfg.Seed,
 	}

@@ -25,6 +25,7 @@ type trainSettings struct {
 	cacheFractionSet bool
 	workersSet       bool
 	seedSet          bool
+	threadsSet       bool
 }
 
 // WithPolicy selects the caching/sampling policy (one of the Policy*
@@ -90,6 +91,22 @@ func WithSerialLoading() Option {
 	return func(s *trainSettings) { s.cfg.SerialLoading = true }
 }
 
+// WithThreads caps real CPU parallelism for the run: tensor kernels and
+// SpiderCache batch scoring use at most n OS threads. 1 forces serial
+// execution; results are identical either way. Distinct from WithWorkers,
+// which simulates GPUs inside the cost model.
+func WithThreads(n int) Option {
+	return func(s *trainSettings) { s.cfg.Threads = n; s.threadsSet = true }
+}
+
+// WithPrefetch overlaps the serving of the next batch (cache lookups, miss
+// fetches, tensor build) with the current batch's forward pass on a host
+// goroutine. Deterministic; see trainer.Config.Prefetch for the one-batch
+// staleness caveat.
+func WithPrefetch() Option {
+	return func(s *trainSettings) { s.cfg.Prefetch = true }
+}
+
 // WithMetrics attaches a telemetry registry: the run records per-tier
 // lookup counters, simulated fetch/compute latency histograms and the
 // elastic imp_ratio/σ trajectory into it. The same registry may be shared
@@ -146,6 +163,9 @@ func TrainWith(ds *Dataset, opts ...Option) (*Result, error) {
 	}
 	if s.cfg.CacheFraction < 0 || s.cfg.CacheFraction > 1 {
 		return nil, fmt.Errorf("spidercache: WithCacheFraction(%v): want a fraction in [0, 1]", s.cfg.CacheFraction)
+	}
+	if s.threadsSet && s.cfg.Threads < 1 {
+		return nil, fmt.Errorf("spidercache: WithThreads(%d): threads must be >= 1", s.cfg.Threads)
 	}
 	return train(s.cfg)
 }
