@@ -1,0 +1,343 @@
+// Command spiderload is a closed-loop load generator for the kvserver
+// cache tier: N connections issue a configurable GET/SET mix over a
+// zipfian key population at a configurable pipeline depth, and the run
+// reports sustained ops/s plus round-trip latency percentiles taken from
+// the telemetry histograms.
+//
+// Usage:
+//
+//	spiderload                               # in-process server, defaults
+//	spiderload -addr 127.0.0.1:7070          # against a running server
+//	spiderload -conns 8 -pipeline 32         # deeper pipelining
+//	spiderload -pipeline 1                   # one op per round trip (the
+//	                                         # pre-batching serving path)
+//	spiderload -batch 16                     # MGET/MSET batch verbs
+//	spiderload -get 0.5 -value 8192 -zipf 0  # write-heavy, uniform keys
+//	spiderload -metrics                      # server METRICS dump at exit
+//
+// Closed loop means every connection keeps exactly one request window in
+// flight and issues the next only after the previous reply lands, so the
+// reported throughput is what the server actually sustains at that
+// concurrency, not an open-loop arrival rate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"spidercache/internal/kvserver"
+	"spidercache/internal/telemetry"
+	"spidercache/internal/xrand"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "server address; empty starts an in-process server")
+		capacity = flag.Int("capacity", 1<<16, "item capacity for the in-process server")
+		shards   = flag.Int("shards", 0, "store shards for the in-process server (0 = auto)")
+		conns    = flag.Int("conns", 4, "concurrent client connections")
+		pipeline = flag.Int("pipeline", 16, "requests per round trip (1 = no pipelining)")
+		batch    = flag.Int("batch", 0, "use MGET/MSET with this many keys per command instead of pipelined GET/SET (0 = off)")
+		valueSz  = flag.Int("value", 3072, "payload bytes per value")
+		getFrac  = flag.Float64("get", 0.9, "fraction of operations that are GETs (rest are SETs)")
+		keys     = flag.Int("keys", 16384, "key population size")
+		zipfS    = flag.Float64("zipf", 0.99, "zipfian skew exponent over the key population (0 = uniform)")
+		ops      = flag.Int("ops", 200000, "total operations across all connections")
+		preload  = flag.Bool("preload", true, "SET every key once before measuring")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-connection dial/read/write timeout")
+		metrics  = flag.Bool("metrics", false, "print the server METRICS snapshot at exit")
+	)
+	flag.Parse()
+
+	if *conns < 1 || *pipeline < 1 || *keys < 1 || *ops < 1 || *valueSz < 0 ||
+		*getFrac < 0 || *getFrac > 1 || *batch < 0 {
+		fmt.Fprintln(os.Stderr, "spiderload: invalid flag value")
+		os.Exit(2)
+	}
+
+	target := *addr
+	if target == "" {
+		srv, err := kvserver.ServeWith("127.0.0.1:0", kvserver.Options{
+			Capacity: *capacity,
+			Shards:   *shards,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		target = srv.Addr()
+		fmt.Printf("in-process server on %s (capacity=%d shards=%d)\n",
+			target, *capacity, srv.Shards())
+	}
+
+	mode := fmt.Sprintf("pipeline=%d", *pipeline)
+	if *batch > 0 {
+		mode = fmt.Sprintf("batch=%d (MGET/MSET)", *batch)
+	}
+	fmt.Printf("spiderload: addr=%s conns=%d %s value=%dB get=%.2f keys=%d zipf=%.2f ops=%d\n",
+		target, *conns, mode, *valueSz, *getFrac, *keys, *zipfS, *ops)
+
+	dialOpts := kvserver.DialOptions{
+		DialTimeout:  *timeout,
+		ReadTimeout:  *timeout,
+		WriteTimeout: *timeout,
+	}
+	payload := make([]byte, *valueSz)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+
+	if *preload {
+		start := time.Now()
+		if err := preloadKeys(target, dialOpts, *keys, payload); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("preloaded %d keys in %v\n", *keys, time.Since(start).Round(time.Millisecond))
+	}
+
+	reg := telemetry.NewRegistry()
+	reg.Describe("load_rt_seconds", "client-observed round-trip latency per request window")
+	rtLat := reg.HistogramWindow("load_rt_seconds", 1<<15, nil)
+
+	root := xrand.New(*seed)
+	var wg sync.WaitGroup
+	results := make([]workerResult, *conns)
+	opsPer := *ops / *conns
+	start := time.Now()
+	for w := 0; w < *conns; w++ {
+		cfg := workerConfig{
+			addr:     target,
+			dial:     dialOpts,
+			ops:      opsPer,
+			pipeline: *pipeline,
+			batch:    *batch,
+			getFrac:  *getFrac,
+			keys:     *keys,
+			zipfS:    *zipfS,
+			payload:  payload,
+			rng:      root.Split(),
+			rtLat:    rtLat,
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = runWorker(cfg)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total workerResult
+	for _, r := range results {
+		if r.err != nil && total.err == nil {
+			total.err = r.err
+		}
+		total.ops += r.ops
+		total.gets += r.gets
+		total.hits += r.hits
+		total.bytes += r.bytes
+	}
+	if total.err != nil {
+		fatal(total.err)
+	}
+
+	opsPerSec := float64(total.ops) / elapsed.Seconds()
+	mbPerSec := float64(total.bytes) / (1 << 20) / elapsed.Seconds()
+	hitRatio := 0.0
+	if total.gets > 0 {
+		hitRatio = float64(total.hits) / float64(total.gets)
+	}
+	fmt.Printf("ran %d ops in %v: %.0f ops/s, %.1f MB/s, hit %.1f%%\n",
+		total.ops, elapsed.Round(time.Millisecond), opsPerSec, mbPerSec, 100*hitRatio)
+	snap := rtLat.Snapshot()
+	fmt.Printf("round-trip latency (per request window of %d): p50=%s p95=%s p99=%s max=%s\n",
+		windowOps(*pipeline, *batch), fmtDur(snap.P50), fmtDur(snap.P95), fmtDur(snap.P99), fmtDur(snap.Max))
+
+	if *metrics {
+		c, err := kvserver.DialWith(target, dialOpts)
+		if err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		text, err := c.Metrics()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
+	}
+}
+
+func windowOps(pipeline, batch int) int {
+	if batch > 0 {
+		return batch
+	}
+	return pipeline
+}
+
+func fmtDur(seconds float64) time.Duration {
+	return time.Duration(seconds * float64(time.Second)).Round(time.Microsecond)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spiderload:", err)
+	os.Exit(1)
+}
+
+func key(i int) string { return fmt.Sprintf("load:%08d", i) }
+
+// preloadKeys SETs every key once (MSET batches over one connection) so
+// GET traffic starts warm.
+func preloadKeys(addr string, dial kvserver.DialOptions, n int, payload []byte) error {
+	c, err := kvserver.DialWith(addr, dial)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	const chunk = 512
+	keys := make([]string, 0, chunk)
+	values := make([][]byte, 0, chunk)
+	for i := 0; i < n; i++ {
+		keys = append(keys, key(i))
+		values = append(values, payload)
+		if len(keys) == chunk || i == n-1 {
+			if err := c.MSet(keys, values); err != nil {
+				return err
+			}
+			keys, values = keys[:0], values[:0]
+		}
+	}
+	return nil
+}
+
+type workerConfig struct {
+	addr     string
+	dial     kvserver.DialOptions
+	ops      int
+	pipeline int
+	batch    int
+	getFrac  float64
+	keys     int
+	zipfS    float64
+	payload  []byte
+	rng      *xrand.Rand
+	rtLat    *telemetry.Histogram
+}
+
+type workerResult struct {
+	ops   int
+	gets  int
+	hits  int
+	bytes int64
+	err   error
+}
+
+// runWorker is one closed-loop connection: it keeps issuing request
+// windows (a pipeline of GET/SETs, or one MGET/MSET batch) until its
+// operation quota is spent.
+func runWorker(cfg workerConfig) workerResult {
+	var res workerResult
+	c, err := kvserver.DialWith(cfg.addr, cfg.dial)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer c.Close()
+	zipf := xrand.NewZipf(cfg.rng, cfg.zipfS, cfg.keys)
+
+	if cfg.batch > 0 {
+		runBatchLoop(c, cfg, zipf, &res)
+		return res
+	}
+
+	p := c.Pipeline()
+	for res.ops < cfg.ops {
+		window := cfg.pipeline
+		if remaining := cfg.ops - res.ops; window > remaining {
+			window = remaining
+		}
+		sets := 0
+		for i := 0; i < window; i++ {
+			k := key(zipf.Next())
+			if cfg.rng.Float64() < cfg.getFrac {
+				p.Get(k)
+			} else {
+				p.Set(k, cfg.payload)
+				sets++
+			}
+		}
+		start := time.Now()
+		results, err := p.Exec()
+		cfg.rtLat.Observe(time.Since(start).Seconds())
+		if err != nil {
+			res.err = err
+			return res
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				res.err = r.Err
+				return res
+			}
+			if r.Value != nil {
+				res.bytes += int64(len(r.Value))
+			}
+		}
+		res.ops += window
+		res.gets += window - sets
+		for _, r := range results {
+			if r.Found {
+				res.hits++
+			}
+		}
+		res.bytes += int64(sets * len(cfg.payload))
+	}
+	return res
+}
+
+// runBatchLoop drives the MGET/MSET verbs: each window is one batch
+// command whose keys are all zipf draws.
+func runBatchLoop(c *kvserver.Client, cfg workerConfig, zipf *xrand.Zipf, res *workerResult) {
+	keys := make([]string, cfg.batch)
+	values := make([][]byte, cfg.batch)
+	for i := range values {
+		values[i] = cfg.payload
+	}
+	for res.ops < cfg.ops {
+		window := cfg.batch
+		if remaining := cfg.ops - res.ops; window > remaining {
+			window = remaining
+		}
+		for i := 0; i < window; i++ {
+			keys[i] = key(zipf.Next())
+		}
+		isGet := cfg.rng.Float64() < cfg.getFrac
+		start := time.Now()
+		if isGet {
+			got, found, err := c.MGet(keys[:window]...)
+			cfg.rtLat.Observe(time.Since(start).Seconds())
+			if err != nil {
+				res.err = err
+				return
+			}
+			res.gets += window
+			for i := range found {
+				if found[i] {
+					res.hits++
+					res.bytes += int64(len(got[i]))
+				}
+			}
+		} else {
+			err := c.MSet(keys[:window], values[:window])
+			cfg.rtLat.Observe(time.Since(start).Seconds())
+			if err != nil {
+				res.err = err
+				return
+			}
+			res.bytes += int64(window * len(cfg.payload))
+		}
+		res.ops += window
+	}
+}

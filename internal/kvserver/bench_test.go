@@ -1,0 +1,201 @@
+package kvserver
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The serving-path benchmarks compare the three wire disciplines the data
+// plane supports, at several connection counts:
+//
+//   - serial:    one GET per round trip (the pre-batching protocol)
+//   - pipeline:  D GETs per round trip via the Pipeline client
+//   - mget:      D keys per MGET verb
+//
+// The acceptance bar for the batching work is pipeline/mget sustaining
+// >= 2x the serial ops/s; on multi-core runners the sharded store adds
+// further headroom across connections.
+
+const (
+	benchPayloadSize = 3 << 10 // CIFAR-sized sample
+	benchKeySpace    = 2048
+)
+
+func benchKey(i int) string { return fmt.Sprintf("k%d", i%benchKeySpace) }
+
+func startBenchServer(b *testing.B) *Server {
+	b.Helper()
+	srv, err := Serve("127.0.0.1:0", 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+
+	payload := bytes.Repeat([]byte("x"), benchPayloadSize)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	keys := make([]string, benchKeySpace)
+	values := make([][]byte, benchKeySpace)
+	for i := range keys {
+		keys[i], values[i] = benchKey(i), payload
+	}
+	if err := c.MSet(keys, values); err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
+// runConns splits b.N GETs across conns goroutines, each with its own
+// connection driven by loop(client, ops).
+func runConns(b *testing.B, srv *Server, conns int, loop func(c *Client, ops int) error) {
+	b.Helper()
+	b.SetBytes(benchPayloadSize)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for w := 0; w < conns; w++ {
+		ops := b.N / conns
+		if w == 0 {
+			ops += b.N % conns
+		}
+		wg.Add(1)
+		go func(ops int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if err := loop(c, ops); err != nil {
+				errs <- err
+			}
+		}(ops)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkServerGet(b *testing.B) {
+	for _, conns := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("serial/conns=%d", conns), func(b *testing.B) {
+			srv := startBenchServer(b)
+			runConns(b, srv, conns, func(c *Client, ops int) error {
+				for i := 0; i < ops; i++ {
+					if _, ok, err := c.Get(benchKey(i)); err != nil || !ok {
+						return fmt.Errorf("get %d: ok=%v err=%v", i, ok, err)
+					}
+				}
+				return nil
+			})
+		})
+		b.Run(fmt.Sprintf("pipeline=16/conns=%d", conns), func(b *testing.B) {
+			srv := startBenchServer(b)
+			runConns(b, srv, conns, func(c *Client, ops int) error {
+				p := c.Pipeline()
+				for done := 0; done < ops; {
+					window := 16
+					if ops-done < window {
+						window = ops - done
+					}
+					for i := 0; i < window; i++ {
+						p.Get(benchKey(done + i))
+					}
+					results, err := p.Exec()
+					if err != nil {
+						return err
+					}
+					for _, r := range results {
+						if !r.Found {
+							return fmt.Errorf("miss at %d", done)
+						}
+					}
+					done += window
+				}
+				return nil
+			})
+		})
+		b.Run(fmt.Sprintf("mget=16/conns=%d", conns), func(b *testing.B) {
+			srv := startBenchServer(b)
+			runConns(b, srv, conns, func(c *Client, ops int) error {
+				keys := make([]string, 16)
+				for done := 0; done < ops; {
+					window := 16
+					if ops-done < window {
+						window = ops - done
+					}
+					for i := 0; i < window; i++ {
+						keys[i] = benchKey(done + i)
+					}
+					_, found, err := c.MGet(keys[:window]...)
+					if err != nil {
+						return err
+					}
+					for _, ok := range found {
+						if !ok {
+							return fmt.Errorf("miss at %d", done)
+						}
+					}
+					done += window
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// BenchmarkServerSetPipelined measures the write path at depth 16.
+func BenchmarkServerSetPipelined(b *testing.B) {
+	srv := startBenchServer(b)
+	payload := bytes.Repeat([]byte("x"), benchPayloadSize)
+	runConns(b, srv, 4, func(c *Client, ops int) error {
+		p := c.Pipeline()
+		for done := 0; done < ops; {
+			window := 16
+			if ops-done < window {
+				window = ops - done
+			}
+			for i := 0; i < window; i++ {
+				p.Set(benchKey(done+i), payload)
+			}
+			if _, err := p.Exec(); err != nil {
+				return err
+			}
+			done += window
+		}
+		return nil
+	})
+}
+
+// BenchmarkStoreGet isolates the store from the network: shards=1 is the
+// old single-mutex arrangement, larger counts show the sharding win under
+// parallel load (visible on multi-core runners).
+func BenchmarkStoreGet(b *testing.B) {
+	payload := bytes.Repeat([]byte("x"), benchPayloadSize)
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			st := newStoreShards(4096, shards)
+			for i := 0; i < benchKeySpace; i++ {
+				st.set(benchKey(i), payload)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, ok := st.get(benchKey(i)); !ok {
+						b.Fatal("miss")
+					}
+					i++
+				}
+			})
+		})
+	}
+}

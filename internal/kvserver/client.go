@@ -7,51 +7,172 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"time"
 )
+
+// DialOptions tunes a client connection. The zero value means no timeouts
+// (block indefinitely), matching Dial.
+type DialOptions struct {
+	// DialTimeout bounds the TCP connect. Zero means no timeout.
+	DialTimeout time.Duration
+	// ReadTimeout bounds each reply read (the deadline is re-armed per
+	// protocol read). Zero means no timeout.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each request flush. Zero means no timeout.
+	WriteTimeout time.Duration
+}
 
 // Client is a connection to a kvserver. It is not safe for concurrent use;
 // open one client per goroutine (the server handles each connection
-// independently).
+// independently), or share connections through a Pool.
 type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	opts DialOptions
 }
 
 // Dial connects to a kvserver at addr.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWith(addr, DialOptions{})
+}
+
+// DialWith is Dial with explicit timeouts.
+func DialWith(addr string, opts DialOptions) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, connBufSize),
+		w:    bufio.NewWriterSize(conn, connBufSize),
+		opts: opts,
+	}, nil
 }
 
 // Close sends QUIT and closes the connection.
 func (c *Client) Close() error {
 	fmt.Fprint(c.w, "QUIT\r\n")
-	c.w.Flush()
+	c.flush()
 	return c.conn.Close()
+}
+
+// flush arms the write deadline (if configured) and flushes the request
+// buffer.
+func (c *Client) flush() error {
+	if c.opts.WriteTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
+	}
+	return c.w.Flush()
+}
+
+// armRead arms the read deadline (if configured) before a reply read.
+func (c *Client) armRead() {
+	if c.opts.ReadTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout))
+	}
+}
+
+// readLine reads a \r\n- (or \n-) terminated reply line without the
+// terminator.
+func (c *Client) readLine() (string, error) {
+	c.armRead()
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// readFull fills buf from the reply stream.
+func (c *Client) readFull(buf []byte) error {
+	c.armRead()
+	_, err := io.ReadFull(c.r, buf)
+	return err
+}
+
+// readTrailingCRLF consumes the \r\n that terminates a payload.
+func (c *Client) readTrailingCRLF() error {
+	var b [2]byte
+	if err := c.readFull(b[:]); err != nil {
+		return err
+	}
+	if b[0] != '\r' || b[1] != '\n' {
+		return fmt.Errorf("kvserver: payload not CRLF-terminated")
+	}
+	return nil
+}
+
+// validKey rejects keys the wire protocol cannot carry.
+func validKey(key string) error {
+	if key == "" || len(key) > MaxKeyLen || strings.ContainsAny(key, " \r\n") {
+		return fmt.Errorf("kvserver: invalid key %q", key)
+	}
+	return nil
+}
+
+// writeSetFrame appends one "<verb...> <key> <nbytes>\r\n<payload>\r\n"
+// request to the write buffer without flushing.
+func (c *Client) writeSetFrame(prefix, key string, value []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	if prefix != "" {
+		if _, err := c.w.WriteString(prefix); err != nil {
+			return err
+		}
+	}
+	c.w.WriteString(key)
+	c.w.WriteByte(' ')
+	c.w.WriteString(strconv.Itoa(len(value)))
+	c.w.WriteString("\r\n")
+	c.w.Write(value)
+	_, err := c.w.WriteString("\r\n")
+	return err
+}
+
+// readValueReply parses one "VALUE <n>\r\n<payload>\r\n" or "NOT_FOUND"
+// reply; any other line is reported as a protocol failure of op.
+func (c *Client) readValueReply(op string) (value []byte, ok bool, err error) {
+	line, err := c.readLine()
+	if err != nil {
+		return nil, false, err
+	}
+	switch {
+	case line == "NOT_FOUND":
+		return nil, false, nil
+	case strings.HasPrefix(line, "VALUE "):
+		n, err := strconv.Atoi(strings.TrimPrefix(line, "VALUE "))
+		if err != nil || n < 0 || n > MaxValueSize {
+			return nil, false, fmt.Errorf("kvserver: bad VALUE header %q", line)
+		}
+		value := make([]byte, n)
+		if err := c.readFull(value); err != nil {
+			return nil, false, err
+		}
+		if err := c.readTrailingCRLF(); err != nil {
+			return nil, false, err
+		}
+		return value, true, nil
+	default:
+		return nil, false, fmt.Errorf("kvserver: %s failed: %s", op, line)
+	}
 }
 
 // Set stores value under key.
 func (c *Client) Set(key string, value []byte) error {
-	if strings.ContainsAny(key, " \r\n") || key == "" {
-		return fmt.Errorf("kvserver: invalid key %q", key)
-	}
-	if _, err := fmt.Fprintf(c.w, "SET %s %d\r\n", key, len(value)); err != nil {
+	if err := c.writeSetFrame("SET ", key, value); err != nil {
 		return err
 	}
-	if _, err := c.w.Write(value); err != nil {
+	if err := c.flush(); err != nil {
 		return err
 	}
-	if _, err := c.w.WriteString("\r\n"); err != nil {
-		return err
-	}
-	if err := c.w.Flush(); err != nil {
-		return err
-	}
-	line, err := readLine(c.r)
+	return c.readStoredReply()
+}
+
+func (c *Client) readStoredReply() error {
+	line, err := c.readLine()
 	if err != nil {
 		return err
 	}
@@ -66,32 +187,102 @@ func (c *Client) Get(key string) (value []byte, ok bool, err error) {
 	if _, err := fmt.Fprintf(c.w, "GET %s\r\n", key); err != nil {
 		return nil, false, err
 	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return nil, false, err
 	}
-	line, err := readLine(c.r)
-	if err != nil {
-		return nil, false, err
+	return c.readValueReply("GET")
+}
+
+// MGet fetches many keys in one round trip (the MGET verb). values[i] and
+// found[i] correspond to keys[i]; a miss is found[i]==false. Batches larger
+// than MaxBatchOps are split into multiple MGET commands (still one flush).
+func (c *Client) MGet(keys ...string) (values [][]byte, found []bool, err error) {
+	if len(keys) == 0 {
+		return nil, nil, nil
 	}
-	switch {
-	case line == "NOT_FOUND":
-		return nil, false, nil
-	case strings.HasPrefix(line, "VALUE "):
-		n, err := strconv.Atoi(strings.TrimPrefix(line, "VALUE "))
-		if err != nil || n < 0 || n > MaxValueSize {
-			return nil, false, fmt.Errorf("kvserver: bad VALUE header %q", line)
+	for _, key := range keys {
+		if err := validKey(key); err != nil {
+			return nil, nil, err
 		}
-		value := make([]byte, n)
-		if _, err := io.ReadFull(c.r, value); err != nil {
-			return nil, false, err
-		}
-		if err := expectCRLF(c.r); err != nil {
-			return nil, false, err
-		}
-		return value, true, nil
-	default:
-		return nil, false, fmt.Errorf("kvserver: GET failed: %s", line)
 	}
+	var batches []int // keys per MGET command
+	for start := 0; start < len(keys); start += MaxBatchOps {
+		end := start + MaxBatchOps
+		if end > len(keys) {
+			end = len(keys)
+		}
+		c.w.WriteString("MGET")
+		for _, key := range keys[start:end] {
+			c.w.WriteByte(' ')
+			c.w.WriteString(key)
+		}
+		if _, err := c.w.WriteString("\r\n"); err != nil {
+			return nil, nil, err
+		}
+		batches = append(batches, end-start)
+	}
+	if err := c.flush(); err != nil {
+		return nil, nil, err
+	}
+	values = make([][]byte, 0, len(keys))
+	found = make([]bool, 0, len(keys))
+	for _, n := range batches {
+		for i := 0; i < n; i++ {
+			v, ok, err := c.readValueReply("MGET")
+			if err != nil {
+				return nil, nil, err
+			}
+			values = append(values, v)
+			found = append(found, ok)
+		}
+		line, err := c.readLine()
+		if err != nil {
+			return nil, nil, err
+		}
+		if line != "END" {
+			return nil, nil, fmt.Errorf("kvserver: MGET missing END, got %q", line)
+		}
+	}
+	return values, found, nil
+}
+
+// MSet stores len(keys) pairs in one round trip (the MSET verb);
+// values[i] goes under keys[i]. Batches larger than MaxBatchOps are split
+// into multiple MSET commands (still one flush).
+func (c *Client) MSet(keys []string, values [][]byte) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("kvserver: MSet got %d keys, %d values", len(keys), len(values))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	batches := 0
+	for start := 0; start < len(keys); start += MaxBatchOps {
+		end := start + MaxBatchOps
+		if end > len(keys) {
+			end = len(keys)
+		}
+		fmt.Fprintf(c.w, "MSET %d\r\n", end-start)
+		for i := start; i < end; i++ {
+			if err := c.writeSetFrame("", keys[i], values[i]); err != nil {
+				return err
+			}
+		}
+		batches++
+	}
+	if err := c.flush(); err != nil {
+		return err
+	}
+	for b := 0; b < batches; b++ {
+		line, err := c.readLine()
+		if err != nil {
+			return err
+		}
+		if !strings.HasPrefix(line, "STORED ") {
+			return fmt.Errorf("kvserver: MSET failed: %s", line)
+		}
+	}
+	return nil
 }
 
 // Del removes key; ok reports whether it was present.
@@ -99,10 +290,14 @@ func (c *Client) Del(key string) (bool, error) {
 	if _, err := fmt.Fprintf(c.w, "DEL %s\r\n", key); err != nil {
 		return false, err
 	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return false, err
 	}
-	line, err := readLine(c.r)
+	return c.readDelReply()
+}
+
+func (c *Client) readDelReply() (bool, error) {
+	line, err := c.readLine()
 	if err != nil {
 		return false, err
 	}
@@ -122,10 +317,10 @@ func (c *Client) Metrics() (string, error) {
 	if _, err := fmt.Fprint(c.w, "METRICS\r\n"); err != nil {
 		return "", err
 	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return "", err
 	}
-	line, err := readLine(c.r)
+	line, err := c.readLine()
 	if err != nil {
 		return "", err
 	}
@@ -137,10 +332,10 @@ func (c *Client) Metrics() (string, error) {
 		return "", fmt.Errorf("kvserver: bad METRICS header %q", line)
 	}
 	payload := make([]byte, n)
-	if _, err := io.ReadFull(c.r, payload); err != nil {
+	if err := c.readFull(payload); err != nil {
 		return "", err
 	}
-	if err := expectCRLF(c.r); err != nil {
+	if err := c.readTrailingCRLF(); err != nil {
 		return "", err
 	}
 	return string(payload), nil
@@ -151,10 +346,10 @@ func (c *Client) Stats() (items int, hits, misses int64, err error) {
 	if _, err := fmt.Fprint(c.w, "STATS\r\n"); err != nil {
 		return 0, 0, 0, err
 	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return 0, 0, 0, err
 	}
-	line, err := readLine(c.r)
+	line, err := c.readLine()
 	if err != nil {
 		return 0, 0, 0, err
 	}

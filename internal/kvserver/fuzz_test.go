@@ -3,14 +3,17 @@ package kvserver
 import (
 	"bufio"
 	"bytes"
+	"strings"
 	"testing"
 
 	"spidercache/internal/telemetry"
 )
 
 // FuzzServeOne drives the protocol handler with arbitrary bytes: the server
-// must never panic regardless of input, and every reply must be a protocol
-// line. The seed corpus covers each command and common malformations.
+// must never panic regardless of input, and every error must map to a
+// stable protocol string (see protoErr) or be an I/O error. The seed corpus
+// covers each command — including the batch verbs and pipelined
+// multi-command streams — and common malformations.
 func FuzzServeOne(f *testing.F) {
 	f.Add([]byte("GET k\r\n"))
 	f.Add([]byte("SET k 3\r\nabc\r\n"))
@@ -22,19 +25,92 @@ func FuzzServeOne(f *testing.F) {
 	f.Add([]byte("SET k 99999999999999999999\r\n"))
 	f.Add([]byte("\r\n"))
 	f.Add([]byte{0, 1, 2, '\n'})
+	// Batch verbs.
+	f.Add([]byte("MGET a b c\r\n"))
+	f.Add([]byte("MGET\r\n"))
+	f.Add([]byte("MSET 2\r\na 1\r\nx\r\nb 1\r\ny\r\n"))
+	f.Add([]byte("MSET 2\r\na 1\r\nx\r\n"))        // truncated batch
+	f.Add([]byte("MSET 0\r\n"))                    // zero count
+	f.Add([]byte("MSET -1\r\n"))                   // bad count
+	f.Add([]byte("MSET 999999999\r\n"))            // over MaxBatchOps
+	f.Add([]byte("MSET 1\r\na b c\r\n"))           // malformed frame
+	// Pipelined multi-command streams.
+	f.Add([]byte("SET k 1\r\nv\r\nGET k\r\nDEL k\r\nGET k\r\n"))
+	f.Add([]byte("MSET 1\r\na 1\r\nz\r\nMGET a b\r\nSTATS\r\n"))
+	f.Add([]byte("GET a\r\nGET b\r\nGET c\r\nQUIT\r\nGET d\r\n"))
+	f.Add([]byte("SET k 2\r\nvvXXGET k\r\n")) // bad framing mid-pipeline
 	f.Fuzz(func(t *testing.T, input []byte) {
 		reg := telemetry.NewRegistry()
-		srv := &Server{store: newStore(8), reg: reg, tel: newServerTelemetry(reg)}
+		st := newStore(8)
+		srv := &Server{store: st, reg: reg, tel: newServerTelemetry(reg, st.numShards())}
 		r := bufio.NewReader(bytes.NewReader(input))
 		var out bytes.Buffer
 		w := bufio.NewWriter(&out)
+		sess := newSession(r, w)
 		// Serve until the handler reports an error (EOF, protocol error,
-		// quit); each call must return rather than panic.
+		// quit); each call must return rather than panic, and protocol
+		// errors must carry one of the stable strings.
 		for i := 0; i < 16; i++ {
-			if err := srv.serveOne(r, w); err != nil {
-				break
+			err := srv.serveOne(sess)
+			if err == nil {
+				continue
 			}
+			if pe, ok := err.(protoErr); ok {
+				if !knownProtoErr(pe) {
+					t.Fatalf("unstable protocol error %q for input %q", pe, input)
+				}
+			}
+			break
 		}
 		w.Flush()
+	})
+}
+
+func knownProtoErr(pe protoErr) bool {
+	switch pe {
+	case errEmptyCommand, errUnknownCmd, errBadArgs, errKeyTooLong,
+		errBadLength, errBadPayload, errBadBatchCount, errLineTooLong:
+		return true
+	}
+	return false
+}
+
+// FuzzClientRoundTrip fuzzes the key/value space end to end over a real
+// connection: anything the client accepts must round-trip byte-identically
+// through SET/GET and MSET/MGET.
+func FuzzClientRoundTrip(f *testing.F) {
+	f.Add("k", []byte("v"))
+	f.Add("a:b:c", []byte{})
+	f.Add(strings.Repeat("k", MaxKeyLen), bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, key string, value []byte) {
+		srv, err := Serve("127.0.0.1:0", 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		c, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Set(key, value); err != nil {
+			// The client rejects invalid keys locally; that is fine.
+			if validKey(key) != nil {
+				return
+			}
+			t.Fatalf("Set(%q): %v", key, err)
+		}
+		got, ok, err := c.Get(key)
+		if err != nil || !ok || !bytes.Equal(got, value) {
+			t.Fatalf("Get(%q): ok=%v err=%v got=%q want=%q", key, ok, err, got, value)
+		}
+		const absent = "\x01never-set"
+		vs, found, err := c.MGet(key, absent)
+		if err != nil || !found[0] || !bytes.Equal(vs[0], value) {
+			t.Fatalf("MGet(%q): found=%v err=%v", key, found, err)
+		}
+		if key != absent && found[1] {
+			t.Fatalf("MGet: absent key reported found")
+		}
 	})
 }

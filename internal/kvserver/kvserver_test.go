@@ -3,6 +3,7 @@ package kvserver
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -126,45 +127,64 @@ func TestInvalidClientKey(t *testing.T) {
 	}
 }
 
+// TestProtocolErrors pins every malformed frame to its exact stable
+// SERVER_ERROR string — the strings are protocol surface (fuzz corpora and
+// clients match on them), so a refactor that changes one is a breaking
+// change this test catches.
 func TestProtocolErrors(t *testing.T) {
 	srv := startServer(t, 8)
-	cases := []string{
-		"BOGUS\r\n",
-		"SET onlykey\r\n",
-		"SET k notanumber\r\n",
-		"SET k -1\r\n",
-		"GET\r\n",
-		"DEL\r\n",
-		fmt.Sprintf("SET %s 1\r\nx\r\n", strings.Repeat("k", MaxKeyLen+1)),
+	cases := []struct {
+		raw  string
+		want string
+	}{
+		{"BOGUS\r\n", "unknown command"},
+		{"SET onlykey\r\n", "bad arguments"},
+		{"SET k notanumber\r\n", "bad value length"},
+		{"SET k -1\r\n", "bad value length"},
+		{"SET k 99999999999999999999\r\n", "bad value length"},
+		{"GET\r\n", "bad arguments"},
+		{"GET a b\r\n", "bad arguments"},
+		{"DEL\r\n", "bad arguments"},
+		{"STATS extra\r\n", "bad arguments"},
+		{"METRICS extra\r\n", "bad arguments"},
+		{"MGET\r\n", "bad arguments"},
+		{"MSET\r\n", "bad arguments"},
+		{"MSET nope\r\n", "bad batch count"},
+		{"MSET 0\r\n", "bad batch count"},
+		{"MSET 99999999\r\n", "bad batch count"},
+		{"MSET 1\r\na b c\r\n", "bad arguments"},
+		{"SET k 3\r\nabcXY", "bad payload framing"},
+		{fmt.Sprintf("SET %s 1\r\nx\r\n", strings.Repeat("k", MaxKeyLen+1)), "key too long"},
 	}
-	for _, raw := range cases {
+	for _, tc := range cases {
 		conn, err := net.Dial("tcp", srv.Addr())
 		if err != nil {
 			t.Fatal(err)
 		}
-		fmt.Fprint(conn, raw)
-		buf := make([]byte, 256)
-		n, _ := conn.Read(buf)
-		reply := string(buf[:n])
-		if !strings.HasPrefix(reply, "SERVER_ERROR") {
-			t.Errorf("input %q: reply %q, want SERVER_ERROR", raw, reply)
+		fmt.Fprint(conn, tc.raw)
+		reply, _ := io.ReadAll(conn)
+		want := "SERVER_ERROR " + tc.want + "\r\n"
+		if string(reply) != want {
+			t.Errorf("input %q: reply %q, want %q", tc.raw, reply, want)
 		}
 		conn.Close()
 	}
 }
 
-func TestPayloadMissingCRLF(t *testing.T) {
+// TestProtocolErrorAfterPipelinedReplies: replies produced before the bad
+// frame are delivered, then the stable error, then close.
+func TestProtocolErrorAfterPipelinedReplies(t *testing.T) {
 	srv := startServer(t, 8)
 	conn, err := net.Dial("tcp", srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	fmt.Fprint(conn, "SET k 3\r\nabcXY") // payload not followed by \r\n
-	buf := make([]byte, 256)
-	n, _ := conn.Read(buf)
-	if !strings.HasPrefix(string(buf[:n]), "SERVER_ERROR") {
-		t.Fatalf("reply %q", string(buf[:n]))
+	fmt.Fprint(conn, "SET k 1\r\nv\r\nGET k\r\nBOGUS\r\n")
+	reply, _ := io.ReadAll(conn)
+	want := "STORED\r\nVALUE 1\r\nv\r\nSERVER_ERROR unknown command\r\n"
+	if string(reply) != want {
+		t.Fatalf("reply %q, want %q", reply, want)
 	}
 }
 

@@ -1,6 +1,7 @@
 package kvserver
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -73,6 +74,88 @@ func TestMetricsSharedRegistry(t *testing.T) {
 	}
 	if !strings.Contains(text, "kv_items") {
 		t.Fatalf("kv series missing:\n%s", text)
+	}
+}
+
+// TestMetricsShardGauges: METRICS exports one kv_shard_items gauge per
+// store shard, and their sum equals kv_items — shard balance is visible.
+func TestMetricsShardGauges(t *testing.T) {
+	srv, err := ServeWith("127.0.0.1:0", Options{Capacity: 1024, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := dial(t, srv)
+	for i := 0; i < 64; i++ {
+		if err := c.Set(fmt.Sprintf("key-%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf(`kv_shard_items{shard="%d"}`, i)
+		v, ok := scrapeGauge(text, name)
+		if !ok {
+			t.Fatalf("METRICS missing %s:\n%s", name, text)
+		}
+		total += v
+	}
+	if total != 64 {
+		t.Fatalf("shard gauges sum to %v, want 64", total)
+	}
+	if items, ok := scrapeGauge(text, "kv_items"); !ok || items != 64 {
+		t.Fatalf("kv_items = %v (ok=%v), want 64", items, ok)
+	}
+}
+
+// scrapeGauge pulls one sample value out of Prometheus exposition text.
+func scrapeGauge(text, series string) (float64, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// TestMetricsPipelineDepth: pipelined commands served under one flush are
+// visible in kv_pipeline_depth and kv_net_flushes_total.
+func TestMetricsPipelineDepth(t *testing.T) {
+	srv := startServer(t, 64)
+	c := dial(t, srv)
+	p := c.Pipeline()
+	for i := 0; i < 8; i++ {
+		p.Set(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if _, err := p.Exec(); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"kv_pipeline_depth_count",
+		`kv_pipeline_depth{quantile="0.5"}`,
+		"kv_net_flushes_total",
+		`kv_ops_total{op="mget"`,
+		`kv_ops_total{op="mset"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("METRICS missing %q:\n%s", want, text)
+		}
+	}
+	// All 8 pipelined SETs should have been answered under few flushes:
+	// the max observed depth must exceed 1 for the coalescing to be real.
+	if depth, ok := scrapeGauge(text, `kv_pipeline_depth{quantile="0.99"}`); !ok || depth < 2 {
+		t.Fatalf("pipeline depth p99 = %v (ok=%v), want >= 2 — flush coalescing not engaged", depth, ok)
 	}
 }
 

@@ -1,0 +1,161 @@
+package kvserver
+
+import "fmt"
+
+// opKind discriminates queued pipeline operations for reply parsing.
+type opKind uint8
+
+const (
+	opGet opKind = iota
+	opSet
+	opDel
+)
+
+// Result is the outcome of one pipelined operation, in queue order.
+type Result struct {
+	// Value is the fetched payload (Get hits only).
+	Value []byte
+	// Found reports a Get hit or a Del that removed a key; Set success is
+	// Err == nil.
+	Found bool
+	// Err is a per-op protocol failure. Transport errors abort the whole
+	// Exec instead.
+	Err error
+}
+
+// Pipeline queues operations on a client and sends them all in one network
+// flush; the server answers back to back, so N operations cost one round
+// trip instead of N. Build with Client.Pipeline, queue with Get/Set/Del,
+// send with Exec. Like Client, a Pipeline is single-goroutine.
+//
+// Queued requests are written into the client's buffer immediately (a full
+// buffer drains to the socket early, which is harmless — replies are only
+// expected after Exec). After Exec the pipeline is empty and reusable.
+type Pipeline struct {
+	c    *Client
+	ops  []opKind
+	werr error // first queue-time error; Exec reports it
+}
+
+// Pipeline starts an empty pipeline on the client. The client must not be
+// used for other operations until Exec.
+func (c *Client) Pipeline() *Pipeline {
+	return &Pipeline{c: c}
+}
+
+// Len reports the number of queued operations.
+func (p *Pipeline) Len() int { return len(p.ops) }
+
+// Get queues a GET.
+func (p *Pipeline) Get(key string) {
+	if p.werr != nil {
+		return
+	}
+	if err := validKey(key); err != nil {
+		p.werr = err
+		return
+	}
+	p.c.w.WriteString("GET ")
+	p.c.w.WriteString(key)
+	if _, err := p.c.w.WriteString("\r\n"); err != nil {
+		p.werr = err
+		return
+	}
+	p.ops = append(p.ops, opGet)
+}
+
+// Set queues a SET.
+func (p *Pipeline) Set(key string, value []byte) {
+	if p.werr != nil {
+		return
+	}
+	if err := p.c.writeSetFrame("SET ", key, value); err != nil {
+		p.werr = err
+		return
+	}
+	p.ops = append(p.ops, opSet)
+}
+
+// Del queues a DEL.
+func (p *Pipeline) Del(key string) {
+	if p.werr != nil {
+		return
+	}
+	if err := validKey(key); err != nil {
+		p.werr = err
+		return
+	}
+	p.c.w.WriteString("DEL ")
+	p.c.w.WriteString(key)
+	if _, err := p.c.w.WriteString("\r\n"); err != nil {
+		p.werr = err
+		return
+	}
+	p.ops = append(p.ops, opDel)
+}
+
+// Exec flushes every queued operation in one write and collects their
+// replies in order. A transport or framing error aborts with a nil slice
+// (the connection should be discarded); per-op protocol errors land in the
+// matching Result.Err. Exec on an empty pipeline is a no-op.
+func (p *Pipeline) Exec() ([]Result, error) {
+	ops := p.ops
+	p.ops = p.ops[:0]
+	if p.werr != nil {
+		err := p.werr
+		p.werr = nil
+		return nil, err
+	}
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	if err := p.c.flush(); err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(ops))
+	for i, kind := range ops {
+		switch kind {
+		case opGet:
+			v, ok, err := p.c.readValueReply("GET")
+			if err != nil {
+				if isTransportErr(err) {
+					return nil, err
+				}
+				results[i].Err = err
+				continue
+			}
+			results[i].Value, results[i].Found = v, ok
+		case opSet:
+			if err := p.c.readStoredReply(); err != nil {
+				if isTransportErr(err) {
+					return nil, err
+				}
+				results[i].Err = err
+			}
+		case opDel:
+			ok, err := p.c.readDelReply()
+			if err != nil {
+				if isTransportErr(err) {
+					return nil, err
+				}
+				results[i].Err = err
+				continue
+			}
+			results[i].Found = ok
+		default:
+			return nil, fmt.Errorf("kvserver: unknown pipeline op %d", kind)
+		}
+	}
+	return results, nil
+}
+
+// isTransportErr distinguishes connection-level failures (the reply stream
+// is unusable, remaining replies will never arrive — abort the Exec) from
+// unexpected-reply parses, which the client wraps with a "kvserver:"
+// prefix and which consume exactly one reply (safe to report per-op and
+// keep reading). A SERVER_ERROR reply also closes the server side, so the
+// next read aborts as a transport error anyway.
+func isTransportErr(err error) bool {
+	s := err.Error()
+	return !(len(s) >= 9 && s[:9] == "kvserver:")
+}

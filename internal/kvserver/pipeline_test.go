@@ -1,0 +1,218 @@
+package kvserver
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func TestPipelineMixedOps(t *testing.T) {
+	srv := startServer(t, 64)
+	c := dial(t, srv)
+
+	p := c.Pipeline()
+	p.Set("a", []byte("1"))
+	p.Set("b", []byte("2"))
+	p.Get("a")
+	p.Get("missing")
+	p.Del("b")
+	p.Del("b")
+	p.Get("b")
+	if p.Len() != 7 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	results, err := p.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("op %d: %v", i, r.Err)
+		}
+	}
+	if !bytes.Equal(results[2].Value, []byte("1")) || !results[2].Found {
+		t.Fatalf("Get a: %+v", results[2])
+	}
+	if results[3].Found {
+		t.Fatal("missing key found")
+	}
+	if !results[4].Found { // first DEL removed b
+		t.Fatal("Del b reported not found")
+	}
+	if results[5].Found { // second DEL is a miss
+		t.Fatal("double Del reported found")
+	}
+	if results[6].Found {
+		t.Fatal("deleted b still readable")
+	}
+	// Pipeline is reusable after Exec.
+	p.Get("a")
+	results, err = p.Exec()
+	if err != nil || len(results) != 1 || !results[0].Found {
+		t.Fatalf("reuse: %v %+v", err, results)
+	}
+}
+
+func TestPipelineEmptyExec(t *testing.T) {
+	srv := startServer(t, 4)
+	c := dial(t, srv)
+	results, err := c.Pipeline().Exec()
+	if err != nil || results != nil {
+		t.Fatalf("empty Exec: %v %v", err, results)
+	}
+}
+
+func TestPipelineInvalidKeyAborts(t *testing.T) {
+	srv := startServer(t, 4)
+	c := dial(t, srv)
+	p := c.Pipeline()
+	p.Set("ok", []byte("v"))
+	p.Get("has space")
+	p.Get("ok")
+	if _, err := p.Exec(); err == nil {
+		t.Fatal("invalid queued key did not fail Exec")
+	}
+	// The client connection survives a queue-time error only if nothing
+	// was flushed; the first Set WAS buffered, so the connection state is
+	// undefined — dial a fresh client to keep testing.
+}
+
+func TestPipelineDeep(t *testing.T) {
+	srv := startServer(t, 2048)
+	c := dial(t, srv)
+	const n = 500
+	payload := bytes.Repeat([]byte("x"), 1024)
+	p := c.Pipeline()
+	for i := 0; i < n; i++ {
+		p.Set(fmt.Sprintf("k%d", i), payload)
+	}
+	results, err := p.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("set %d: %v", i, r.Err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		p.Get(fmt.Sprintf("k%d", i))
+	}
+	results, err = p.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if !r.Found || !bytes.Equal(r.Value, payload) {
+			t.Fatalf("get %d: found=%v", i, r.Found)
+		}
+	}
+}
+
+func TestMGetMSetRoundTrip(t *testing.T) {
+	srv := startServer(t, 64)
+	c := dial(t, srv)
+
+	keys := []string{"x", "y", "z"}
+	values := [][]byte{[]byte("1"), {}, []byte("three\r\nwith crlf")}
+	if err := c.MSet(keys, values); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := c.MGet("x", "absent", "y", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFound := []bool{true, false, true, true}
+	wantVals := [][]byte{values[0], nil, values[1], values[2]}
+	for i := range wantFound {
+		if found[i] != wantFound[i] {
+			t.Fatalf("found[%d]=%v want %v", i, found[i], wantFound[i])
+		}
+		if !bytes.Equal(got[i], wantVals[i]) {
+			t.Fatalf("got[%d]=%q want %q", i, got[i], wantVals[i])
+		}
+	}
+
+	// Stats reflect the batch ops through the same store counters.
+	items, hits, misses, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items != 3 || hits != 3 || misses != 1 {
+		t.Fatalf("stats %d/%d/%d, want 3/3/1", items, hits, misses)
+	}
+}
+
+func TestMSetLengthMismatch(t *testing.T) {
+	srv := startServer(t, 4)
+	c := dial(t, srv)
+	if err := c.MSet([]string{"a"}, nil); err == nil {
+		t.Fatal("mismatched MSet accepted")
+	}
+	if err := c.MSet(nil, nil); err != nil {
+		t.Fatalf("empty MSet: %v", err)
+	}
+}
+
+func TestMGetEmpty(t *testing.T) {
+	srv := startServer(t, 4)
+	c := dial(t, srv)
+	vs, found, err := c.MGet()
+	if err != nil || vs != nil || found != nil {
+		t.Fatalf("empty MGet: %v %v %v", vs, found, err)
+	}
+}
+
+// TestMGetLargeBatch exercises the client-side split across MaxBatchOps
+// and the server's oversized-line slow path.
+func TestMGetLargeBatch(t *testing.T) {
+	srv := startServer(t, 8192)
+	c := dial(t, srv)
+	const n = MaxBatchOps + 100
+	keys := make([]string, n)
+	values := make([][]byte, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%05d", i)
+		values[i] = []byte(fmt.Sprintf("v%d", i))
+	}
+	if err := c.MSet(keys, values); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := c.MGet(keys...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("got %d results, want %d", len(got), n)
+	}
+	for i := range keys {
+		if !found[i] || !bytes.Equal(got[i], values[i]) {
+			t.Fatalf("key %d: found=%v got=%q want=%q", i, found[i], got[i], values[i])
+		}
+	}
+}
+
+// TestRawPipelinedStream pushes a hand-built multi-command byte stream in
+// one write and checks the replies arrive in order — the wire-level
+// contract the Pipeline type builds on.
+func TestRawPipelinedStream(t *testing.T) {
+	srv := startServer(t, 64)
+	c := dial(t, srv)
+	// Use the underlying conn directly.
+	raw := "SET a 1\r\nx\r\nSET b 1\r\ny\r\nMGET a b\r\nGET a\r\nSTATS\r\n"
+	if _, err := c.conn.Write([]byte(raw)); err != nil {
+		t.Fatal(err)
+	}
+	want := "STORED\r\nSTORED\r\nVALUE 1\r\nx\r\nVALUE 1\r\ny\r\nEND\r\nVALUE 1\r\nx\r\nSTATS 2 3 0\r\n"
+	buf := make([]byte, len(want))
+	if _, err := io.ReadFull(c.conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != want {
+		t.Fatalf("pipelined replies:\n got %q\nwant %q", buf, want)
+	}
+}

@@ -1,0 +1,180 @@
+package kvserver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PoolOptions configures a connection pool.
+type PoolOptions struct {
+	// Size is the fixed number of pooled connections (default 4).
+	Size int
+	// DialOptions apply to every pooled connection (dial/read/write
+	// deadlines).
+	DialOptions
+}
+
+// Pool is a fixed-size pool of client connections, safe for concurrent
+// use: goroutines Acquire a connection, use it (including Pipeline/MGet),
+// and Release it. Convenience wrappers (Get/Set/Del/MGet/MSet/Do) do the
+// acquire/release dance and retire broken connections, redialling lazily
+// so one failed op doesn't shrink the pool.
+type Pool struct {
+	addr  string
+	opts  PoolOptions
+	conns chan *Client // nil entry = slot needs a redial
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool dials opts.Size connections to addr up front, failing fast if
+// the server is unreachable.
+func NewPool(addr string, opts PoolOptions) (*Pool, error) {
+	if opts.Size <= 0 {
+		opts.Size = 4
+	}
+	p := &Pool{addr: addr, opts: opts, conns: make(chan *Client, opts.Size)}
+	for i := 0; i < opts.Size; i++ {
+		c, err := DialWith(addr, opts.DialOptions)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("kvserver: pool dial %d/%d: %w", i+1, opts.Size, err)
+		}
+		p.conns <- c
+	}
+	return p, nil
+}
+
+// Size reports the pool's fixed connection count.
+func (p *Pool) Size() int { return p.opts.Size }
+
+// Acquire checks a connection out of the pool, blocking until one is free.
+// Pass it back with Release (always, even after errors) — or, if the
+// connection is broken, with Discard so the slot redials.
+func (p *Pool) Acquire() (*Client, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errors.New("kvserver: pool is closed")
+	}
+	p.mu.Unlock()
+	c := <-p.conns
+	if c == nil {
+		// Slot was discarded; redial it now. On failure the slot stays
+		// marked so the pool never shrinks.
+		c, err := DialWith(p.addr, p.opts.DialOptions)
+		if err != nil {
+			p.conns <- nil
+			return nil, err
+		}
+		return c, nil
+	}
+	return c, nil
+}
+
+// Release returns a healthy connection to the pool.
+func (p *Pool) Release(c *Client) {
+	if c == nil {
+		p.conns <- nil
+		return
+	}
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		c.Close()
+		return
+	}
+	p.conns <- c
+}
+
+// Discard closes a broken connection and marks its slot for lazy redial.
+func (p *Pool) Discard(c *Client) {
+	if c != nil {
+		c.Close()
+	}
+	p.conns <- nil
+}
+
+// Do runs f with a pooled connection. If f returns an error the connection
+// is assumed poisoned (mid-stream state is unknowable) and is discarded;
+// the slot redials on next use.
+func (p *Pool) Do(f func(*Client) error) error {
+	c, err := p.Acquire()
+	if err != nil {
+		return err
+	}
+	if err := f(c); err != nil {
+		p.Discard(c)
+		return err
+	}
+	p.Release(c)
+	return nil
+}
+
+// Get is Client.Get over a pooled connection.
+func (p *Pool) Get(key string) (value []byte, found bool, err error) {
+	err = p.Do(func(c *Client) error {
+		var e error
+		value, found, e = c.Get(key)
+		return e
+	})
+	return value, found, err
+}
+
+// Set is Client.Set over a pooled connection.
+func (p *Pool) Set(key string, value []byte) error {
+	return p.Do(func(c *Client) error { return c.Set(key, value) })
+}
+
+// Del is Client.Del over a pooled connection.
+func (p *Pool) Del(key string) (found bool, err error) {
+	err = p.Do(func(c *Client) error {
+		var e error
+		found, e = c.Del(key)
+		return e
+	})
+	return found, err
+}
+
+// MGet is Client.MGet over a pooled connection.
+func (p *Pool) MGet(keys ...string) (values [][]byte, found []bool, err error) {
+	err = p.Do(func(c *Client) error {
+		var e error
+		values, found, e = c.MGet(keys...)
+		return e
+	})
+	return values, found, err
+}
+
+// MSet is Client.MSet over a pooled connection.
+func (p *Pool) MSet(keys []string, values [][]byte) error {
+	return p.Do(func(c *Client) error { return c.MSet(keys, values) })
+}
+
+// Close closes every pooled connection. Outstanding Acquires fail;
+// connections released later are closed on return.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	var first error
+	for {
+		select {
+		case c := <-p.conns:
+			if c != nil {
+				if err := c.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		default:
+			return first
+		}
+	}
+}

@@ -5,32 +5,66 @@
 // The simulation in internal/storage models this tier's *cost*; kvserver is
 // the working implementation for deployments that want an actual shared
 // cache process: a TCP server speaking a small memcached-style text
-// protocol, backed by a concurrency-safe LRU store with an item capacity.
+// protocol, backed by an N-way sharded, concurrency-safe LRU store with an
+// item capacity (see store.go).
 //
-// Protocol (lines end in \r\n; payloads are raw bytes):
+// # Protocol
+//
+// Lines end in \r\n; payloads are raw bytes:
 //
 //	SET <key> <nbytes>\r\n<payload>\r\n    -> STORED | SERVER_ERROR <msg>
 //	GET <key>\r\n                          -> VALUE <nbytes>\r\n<payload>\r\n | NOT_FOUND
 //	DEL <key>\r\n                          -> DELETED | NOT_FOUND
+//	MGET <key> [<key>...]\r\n              -> per key, in request order:
+//	                                            VALUE <nbytes>\r\n<payload>\r\n | NOT_FOUND\r\n
+//	                                          then END\r\n
+//	MSET <count>\r\n                       -> STORED <count>\r\n
+//	  followed by <count> frames, each:
+//	    <key> <nbytes>\r\n<payload>\r\n
 //	STATS\r\n                              -> STATS <items> <hits> <misses>\r\n
 //	METRICS\r\n                            -> METRICS <nbytes>\r\n<payload>\r\n
 //	QUIT\r\n                               -> connection closed
 //
+// MGET/MSET batches are capped at MaxBatchOps keys/frames per command.
+//
+// # Pipelining
+//
+// Clients may write any number of complete request frames back to back
+// without waiting for replies; the server answers them in order. The
+// connection loop drains every *complete* buffered request before flushing,
+// so one coalesced write (often one syscall) carries many replies — this,
+// not per-op latency, is where batch throughput comes from. Each request
+// frame should be written whole: the server blocks reading an incomplete
+// frame's payload with replies still unflushed, so a client that sends a
+// partial frame and then waits for earlier replies can deadlock itself
+// (the same contract as memcached/redis pipelining).
+//
+// # Errors
+//
+// Malformed input earns `SERVER_ERROR <msg>` and a closed connection,
+// where <msg> is one of the stable strings below (errBadCommand etc.) —
+// never a raw Go error, so clients and fuzz corpora can match on them
+// across refactors. I/O errors close the connection silently.
+//
+// # METRICS
+//
 // METRICS returns the server's telemetry registry rendered in the
 // Prometheus text exposition format: per-op counters
 // (kv_ops_total{op=...,result=...}), per-op latency summaries with
-// p50/p95/p99 (kv_op_seconds{op=...}) and resident-item/hit/miss gauges —
-// a strict superset of STATS.
+// p50/p95/p99 (kv_op_seconds{op=...}), resident-item/hit/miss gauges,
+// per-shard resident-item gauges (kv_shard_items{shard="N"} — shard
+// balance at a glance), the pipeline-depth histogram kv_pipeline_depth
+// (requests served per network flush) and the kv_net_flushes_total
+// coalescing counter — a strict superset of STATS.
 package kvserver
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
-	"fmt"
 	"io"
 	"net"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,109 +79,31 @@ const MaxValueSize = 64 << 20
 // MaxKeyLen bounds key length.
 const MaxKeyLen = 256
 
-// store is the concurrency-safe LRU value store.
-type store struct {
-	mu       sync.Mutex
-	capacity int
-	entries  map[string]*kvNode
-	head     *kvNode // most recently used
-	tail     *kvNode
-	hits     int64
-	misses   int64
-}
+// MaxBatchOps bounds the keys in one MGET and the frames in one MSET.
+const MaxBatchOps = 4096
 
-type kvNode struct {
-	key        string
-	value      []byte
-	prev, next *kvNode
-}
+// maxLineLen bounds a single request line (an MGET line holds at most
+// MaxBatchOps keys).
+const maxLineLen = 1 << 20
 
-func newStore(capacity int) *store {
-	return &store{capacity: capacity, entries: make(map[string]*kvNode, capacity)}
-}
+// protoErr is a protocol-level error with a stable wire string. Every
+// malformed frame maps onto exactly one of the values below; the server
+// replies "SERVER_ERROR <string>" and closes the connection.
+type protoErr string
 
-func (s *store) get(key string) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, ok := s.entries[key]
-	if !ok {
-		s.misses++
-		return nil, false
-	}
-	s.hits++
-	s.moveToFront(n)
-	return n.value, true
-}
+func (e protoErr) Error() string { return string(e) }
 
-func (s *store) set(key string, value []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if n, ok := s.entries[key]; ok {
-		n.value = value
-		s.moveToFront(n)
-		return
-	}
-	if len(s.entries) >= s.capacity && s.tail != nil {
-		victim := s.tail
-		s.unlink(victim)
-		delete(s.entries, victim.key)
-	}
-	n := &kvNode{key: key, value: value}
-	s.entries[key] = n
-	s.pushFront(n)
-}
-
-func (s *store) del(key string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, ok := s.entries[key]
-	if !ok {
-		return false
-	}
-	s.unlink(n)
-	delete(s.entries, key)
-	return true
-}
-
-func (s *store) stats() (items int, hits, misses int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.entries), s.hits, s.misses
-}
-
-func (s *store) pushFront(n *kvNode) {
-	n.prev = nil
-	n.next = s.head
-	if s.head != nil {
-		s.head.prev = n
-	}
-	s.head = n
-	if s.tail == nil {
-		s.tail = n
-	}
-}
-
-func (s *store) unlink(n *kvNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
-	} else {
-		s.head = n.next
-	}
-	if n.next != nil {
-		n.next.prev = n.prev
-	} else {
-		s.tail = n.prev
-	}
-	n.prev, n.next = nil, nil
-}
-
-func (s *store) moveToFront(n *kvNode) {
-	if s.head == n {
-		return
-	}
-	s.unlink(n)
-	s.pushFront(n)
-}
+// The full stable protocol error vocabulary.
+const (
+	errEmptyCommand  = protoErr("empty command")
+	errUnknownCmd    = protoErr("unknown command")
+	errBadArgs       = protoErr("bad arguments")
+	errKeyTooLong    = protoErr("key too long")
+	errBadLength     = protoErr("bad value length")
+	errBadPayload    = protoErr("bad payload framing")
+	errBadBatchCount = protoErr("bad batch count")
+	errLineTooLong   = protoErr("line too long")
+)
 
 // Server is the TCP cache server.
 type Server struct {
@@ -162,34 +118,62 @@ type Server struct {
 
 // serverTelemetry groups the per-op instruments, resolved once at startup.
 type serverTelemetry struct {
-	getHit, getMiss, setOps, delHit, delMiss *telemetry.Counter
-	getLat, setLat, delLat                   *telemetry.Histogram
-	items, hits, misses                      *telemetry.Gauge
+	getHit, getMiss   *telemetry.Counter
+	mgetHit, mgetMiss *telemetry.Counter
+	setOps, msetOps   *telemetry.Counter
+	delHit, delMiss   *telemetry.Counter
+	getLat, setLat, delLat *telemetry.Histogram
+	mgetLat, msetLat       *telemetry.Histogram
+	items, hits, misses    *telemetry.Gauge
+	shardItems             []*telemetry.Gauge // one gauge per store shard
+	flushes                *telemetry.Counter // network flushes (coalesced writes)
+	pipelineDepth          *telemetry.Histogram
 }
 
-func newServerTelemetry(reg *telemetry.Registry) serverTelemetry {
+func newServerTelemetry(reg *telemetry.Registry, shards int) serverTelemetry {
 	reg.Describe("kv_ops_total", "kvserver operations by op and result")
 	reg.Describe("kv_op_seconds", "kvserver per-op service latency (p50/p95/p99)")
 	reg.Describe("kv_items", "resident items")
-	return serverTelemetry{
-		getHit:  reg.Counter("kv_ops_total", telemetry.Labels{"op": "get", "result": "hit"}),
-		getMiss: reg.Counter("kv_ops_total", telemetry.Labels{"op": "get", "result": "miss"}),
-		setOps:  reg.Counter("kv_ops_total", telemetry.Labels{"op": "set", "result": "stored"}),
-		delHit:  reg.Counter("kv_ops_total", telemetry.Labels{"op": "del", "result": "deleted"}),
-		delMiss: reg.Counter("kv_ops_total", telemetry.Labels{"op": "del", "result": "miss"}),
-		getLat:  reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "get"}),
-		setLat:  reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "set"}),
-		delLat:  reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "del"}),
-		items:   reg.Gauge("kv_items", nil),
-		hits:    reg.Gauge("kv_hits", nil),
-		misses:  reg.Gauge("kv_misses", nil),
+	reg.Describe("kv_shard_items", "resident items per store shard")
+	reg.Describe("kv_net_flushes_total", "network flushes; each may carry many pipelined replies")
+	reg.Describe("kv_pipeline_depth", "requests served per network flush")
+	tel := serverTelemetry{
+		getHit:   reg.Counter("kv_ops_total", telemetry.Labels{"op": "get", "result": "hit"}),
+		getMiss:  reg.Counter("kv_ops_total", telemetry.Labels{"op": "get", "result": "miss"}),
+		mgetHit:  reg.Counter("kv_ops_total", telemetry.Labels{"op": "mget", "result": "hit"}),
+		mgetMiss: reg.Counter("kv_ops_total", telemetry.Labels{"op": "mget", "result": "miss"}),
+		setOps:   reg.Counter("kv_ops_total", telemetry.Labels{"op": "set", "result": "stored"}),
+		msetOps:  reg.Counter("kv_ops_total", telemetry.Labels{"op": "mset", "result": "stored"}),
+		delHit:   reg.Counter("kv_ops_total", telemetry.Labels{"op": "del", "result": "deleted"}),
+		delMiss:  reg.Counter("kv_ops_total", telemetry.Labels{"op": "del", "result": "miss"}),
+		getLat:   reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "get"}),
+		setLat:   reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "set"}),
+		delLat:   reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "del"}),
+		mgetLat:  reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "mget"}),
+		msetLat:  reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "mset"}),
+		items:    reg.Gauge("kv_items", nil),
+		hits:     reg.Gauge("kv_hits", nil),
+		misses:   reg.Gauge("kv_misses", nil),
+		flushes:  reg.Counter("kv_net_flushes_total", nil),
+		pipelineDepth: reg.Histogram("kv_pipeline_depth", nil),
 	}
+	tel.shardItems = make([]*telemetry.Gauge, shards)
+	for i := range tel.shardItems {
+		tel.shardItems[i] = reg.Gauge("kv_shard_items", telemetry.Labels{"shard": strconv.Itoa(i)})
+	}
+	return tel
 }
 
 // Options configures a server beyond the listen address.
 type Options struct {
 	// Capacity is the item budget of the LRU store (required, >= 1).
 	Capacity int
+	// Shards overrides the automatic store shard count (power of two;
+	// rounded down otherwise, clamped to [1, min(Capacity, MaxShards)]).
+	// Zero means automatic: one shard per 64 items, at most 16, so small
+	// stores keep strict global LRU order and large ones spread lock
+	// contention.
+	Shards int
 	// Registry receives the server's telemetry and backs the METRICS verb.
 	// Nil means a private registry owned by the server — METRICS always
 	// works. Passing a shared registry lets a host process fold kvserver
@@ -208,21 +192,34 @@ func Serve(addr string, capacity int) (*Server, error) {
 // ServeWith is Serve with full Options.
 func ServeWith(addr string, opts Options) (*Server, error) {
 	if opts.Capacity < 1 {
-		return nil, fmt.Errorf("kvserver: capacity must be >= 1, got %d", opts.Capacity)
+		return nil, errors.New("kvserver: capacity must be >= 1, got " + strconv.Itoa(opts.Capacity))
+	}
+	if opts.Shards < 0 {
+		return nil, errors.New("kvserver: shards must be >= 0, got " + strconv.Itoa(opts.Shards))
 	}
 	reg := opts.Registry
 	if reg == nil {
 		reg = telemetry.NewRegistry()
+	}
+	var st *store
+	if opts.Shards == 0 {
+		st = newStore(opts.Capacity)
+	} else {
+		n := opts.Shards
+		if n > MaxShards {
+			n = MaxShards
+		}
+		st = newStoreShards(opts.Capacity, n)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	srv := &Server{
-		store:    newStore(opts.Capacity),
+		store:    st,
 		listener: ln,
 		reg:      reg,
-		tel:      newServerTelemetry(reg),
+		tel:      newServerTelemetry(reg, st.numShards()),
 	}
 	srv.wg.Add(1)
 	go srv.acceptLoop()
@@ -234,6 +231,9 @@ func (s *Server) Metrics() *telemetry.Registry { return s.reg }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Shards returns the store's shard count.
+func (s *Server) Shards() int { return s.store.numShards() }
 
 // Close stops the listener and waits for in-flight connections to finish.
 func (s *Server) Close() error {
@@ -261,18 +261,77 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// connBufSize sizes the pooled per-connection read/write buffers.
+const connBufSize = 16 << 10
+
+// Per-connection buffers come from sync.Pools: connection churn (dial, a
+// few ops, close — the load generator's default mode) would otherwise
+// allocate two 16KiB buffers plus parse scratch per connection.
+var (
+	readerPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, connBufSize) }}
+	writerPool = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, connBufSize) }}
+	sessionPool = sync.Pool{New: func() any { return &session{} }}
+)
+
+// session is the per-connection parse state: the bufio pair plus reusable
+// scratch so steady-state request parsing allocates nothing.
+type session struct {
+	r      *bufio.Reader
+	w      *bufio.Writer
+	fields [][]byte // field-split scratch, aliases the reader's buffer
+	long   []byte   // spill buffer for lines longer than the reader buffer
+	num    []byte   // integer formatting scratch
+}
+
+func newSession(r *bufio.Reader, w *bufio.Writer) *session {
+	return &session{r: r, w: w}
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
+	r := readerPool.Get().(*bufio.Reader)
+	w := writerPool.Get().(*bufio.Writer)
+	sess := sessionPool.Get().(*session)
+	r.Reset(conn)
+	w.Reset(conn)
+	sess.r, sess.w = r, w
+	defer func() {
+		sess.r, sess.w = nil, nil
+		sessionPool.Put(sess)
+		r.Reset(nil)
+		w.Reset(nil)
+		readerPool.Put(r)
+		writerPool.Put(w)
+	}()
+
+	depth := int64(0) // requests answered since the last flush
 	for {
-		if err := s.serveOne(r, w); err != nil {
-			if !errors.Is(err, io.EOF) && !s.closed.Load() {
-				fmt.Fprintf(w, "SERVER_ERROR %s\r\n", sanitise(err.Error()))
-				w.Flush()
+		err := s.serveOne(sess)
+		if err != nil {
+			// Flush replies already produced by earlier pipelined
+			// requests, then report protocol errors with their stable
+			// string. I/O errors (EOF, reset) close silently.
+			var pe protoErr
+			if errors.As(err, &pe) && !s.closed.Load() {
+				w.WriteString("SERVER_ERROR ")
+				w.WriteString(string(pe))
+				w.WriteString("\r\n")
 			}
+			w.Flush()
 			return
 		}
+		depth++
+		// Drain: if at least one more complete request line is already
+		// buffered, keep serving before paying for a flush — one coalesced
+		// write then carries every reply.
+		if n := r.Buffered(); n > 0 {
+			if peek, _ := r.Peek(n); bytes.IndexByte(peek, '\n') >= 0 {
+				continue
+			}
+		}
+		s.tel.flushes.Inc()
+		s.tel.pipelineDepth.Observe(float64(depth))
+		depth = 0
 		if err := w.Flush(); err != nil {
 			return
 		}
@@ -281,133 +340,341 @@ func (s *Server) handle(conn net.Conn) {
 
 var errQuit = errors.New("quit")
 
-func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
-	line, err := readLine(r)
+// serveOne reads and answers exactly one request frame. Replies are written
+// to sess.w but not flushed; the caller owns flushing.
+func (s *Server) serveOne(sess *session) error {
+	line, err := sess.readLine()
 	if err != nil {
 		return err
 	}
-	fields := strings.Fields(line)
+	fields := splitFields(line, sess.fields[:0])
+	sess.fields = fields // keep grown scratch for the next request
 	if len(fields) == 0 {
-		return fmt.Errorf("empty command")
+		return errEmptyCommand
 	}
-	switch strings.ToUpper(fields[0]) {
-	case "SET":
-		if len(fields) != 3 {
-			return fmt.Errorf("SET wants <key> <nbytes>")
-		}
-		key := fields[1]
-		if len(key) > MaxKeyLen {
-			return fmt.Errorf("key too long")
-		}
-		n, err := strconv.Atoi(fields[2])
-		if err != nil || n < 0 || n > MaxValueSize {
-			return fmt.Errorf("bad length %q", fields[2])
-		}
-		value := make([]byte, n)
-		if _, err := io.ReadFull(r, value); err != nil {
-			return err
-		}
-		if err := expectCRLF(r); err != nil {
-			return err
-		}
-		start := time.Now()
-		s.store.set(key, value)
-		_, err = w.WriteString("STORED\r\n")
-		s.tel.setOps.Inc()
-		s.tel.setLat.Observe(time.Since(start).Seconds())
-		return err
-	case "GET":
-		if len(fields) != 2 {
-			return fmt.Errorf("GET wants <key>")
-		}
-		start := time.Now()
-		value, ok := s.store.get(fields[1])
-		defer func() { s.tel.getLat.Observe(time.Since(start).Seconds()) }()
-		if !ok {
-			s.tel.getMiss.Inc()
-			_, err := w.WriteString("NOT_FOUND\r\n")
-			return err
-		}
-		s.tel.getHit.Inc()
-		if _, err := fmt.Fprintf(w, "VALUE %d\r\n", len(value)); err != nil {
-			return err
-		}
-		if _, err := w.Write(value); err != nil {
-			return err
-		}
-		_, err := w.WriteString("\r\n")
-		return err
-	case "DEL":
-		if len(fields) != 2 {
-			return fmt.Errorf("DEL wants <key>")
-		}
-		start := time.Now()
-		deleted := s.store.del(fields[1])
-		s.tel.delLat.Observe(time.Since(start).Seconds())
-		if deleted {
-			s.tel.delHit.Inc()
-			_, err := w.WriteString("DELETED\r\n")
-			return err
-		}
-		s.tel.delMiss.Inc()
-		_, err := w.WriteString("NOT_FOUND\r\n")
-		return err
-	case "STATS":
-		items, hits, misses := s.store.stats()
-		_, err := fmt.Fprintf(w, "STATS %d %d %d\r\n", items, hits, misses)
-		return err
-	case "METRICS":
-		payload := []byte(s.metricsText())
-		if _, err := fmt.Fprintf(w, "METRICS %d\r\n", len(payload)); err != nil {
-			return err
-		}
-		if _, err := w.Write(payload); err != nil {
-			return err
-		}
-		_, err := w.WriteString("\r\n")
-		return err
-	case "QUIT":
+	cmd := fields[0]
+	args := fields[1:]
+	switch {
+	case cmdEq(cmd, "GET"):
+		return s.doGet(sess, args)
+	case cmdEq(cmd, "SET"):
+		return s.doSet(sess, args)
+	case cmdEq(cmd, "MGET"):
+		return s.doMGet(sess, args)
+	case cmdEq(cmd, "MSET"):
+		return s.doMSet(sess, args)
+	case cmdEq(cmd, "DEL"):
+		return s.doDel(sess, args)
+	case cmdEq(cmd, "STATS"):
+		return s.doStats(sess, args)
+	case cmdEq(cmd, "METRICS"):
+		return s.doMetrics(sess, args)
+	case cmdEq(cmd, "QUIT"):
 		return errQuit
 	default:
-		return fmt.Errorf("unknown command %q", fields[0])
+		return errUnknownCmd
 	}
 }
 
-// metricsText refreshes the store-level gauges and renders the registry in
-// the Prometheus text exposition format.
+func (s *Server) doGet(sess *session, args [][]byte) error {
+	if len(args) != 1 {
+		return errBadArgs
+	}
+	start := time.Now()
+	value, ok := s.store.getBytes(args[0])
+	err := sess.writeValueOrMiss(value, ok)
+	if ok {
+		s.tel.getHit.Inc()
+	} else {
+		s.tel.getMiss.Inc()
+	}
+	s.tel.getLat.Observe(time.Since(start).Seconds())
+	return err
+}
+
+func (s *Server) doMGet(sess *session, args [][]byte) error {
+	if len(args) == 0 {
+		return errBadArgs
+	}
+	if len(args) > MaxBatchOps {
+		return errBadBatchCount
+	}
+	start := time.Now()
+	var hits, misses int64
+	for _, key := range args {
+		value, ok := s.store.getBytes(key)
+		if ok {
+			hits++
+		} else {
+			misses++
+		}
+		if err := sess.writeValueOrMiss(value, ok); err != nil {
+			return err
+		}
+	}
+	_, err := sess.w.WriteString("END\r\n")
+	s.tel.mgetHit.Add(hits)
+	s.tel.mgetMiss.Add(misses)
+	s.tel.mgetLat.Observe(time.Since(start).Seconds())
+	return err
+}
+
+func (s *Server) doSet(sess *session, args [][]byte) error {
+	if len(args) != 2 {
+		return errBadArgs
+	}
+	start := time.Now()
+	key, value, err := sess.readPayload(args[0], args[1])
+	if err != nil {
+		return err
+	}
+	s.store.set(key, value)
+	_, err = sess.w.WriteString("STORED\r\n")
+	s.tel.setOps.Inc()
+	s.tel.setLat.Observe(time.Since(start).Seconds())
+	return err
+}
+
+func (s *Server) doMSet(sess *session, args [][]byte) error {
+	if len(args) != 1 {
+		return errBadArgs
+	}
+	count, err := parseLength(args[0])
+	if err != nil || count < 1 || count > MaxBatchOps {
+		return errBadBatchCount
+	}
+	start := time.Now()
+	for i := 0; i < count; i++ {
+		line, err := sess.readLine()
+		if err != nil {
+			return err
+		}
+		fields := splitFields(line, sess.fields[:0])
+		sess.fields = fields
+		if len(fields) != 2 {
+			return errBadArgs
+		}
+		key, value, err := sess.readPayload(fields[0], fields[1])
+		if err != nil {
+			return err
+		}
+		s.store.set(key, value)
+	}
+	sess.w.WriteString("STORED ")
+	sess.writeInt(int64(count))
+	_, err = sess.w.WriteString("\r\n")
+	s.tel.msetOps.Add(int64(count))
+	s.tel.msetLat.Observe(time.Since(start).Seconds())
+	return err
+}
+
+func (s *Server) doDel(sess *session, args [][]byte) error {
+	if len(args) != 1 {
+		return errBadArgs
+	}
+	start := time.Now()
+	deleted := s.store.del(string(args[0]))
+	s.tel.delLat.Observe(time.Since(start).Seconds())
+	if deleted {
+		s.tel.delHit.Inc()
+		_, err := sess.w.WriteString("DELETED\r\n")
+		return err
+	}
+	s.tel.delMiss.Inc()
+	_, err := sess.w.WriteString("NOT_FOUND\r\n")
+	return err
+}
+
+func (s *Server) doStats(sess *session, args [][]byte) error {
+	if len(args) != 0 {
+		return errBadArgs
+	}
+	items, hits, misses := s.store.stats()
+	sess.w.WriteString("STATS ")
+	sess.writeInt(int64(items))
+	sess.w.WriteByte(' ')
+	sess.writeInt(hits)
+	sess.w.WriteByte(' ')
+	sess.writeInt(misses)
+	_, err := sess.w.WriteString("\r\n")
+	return err
+}
+
+func (s *Server) doMetrics(sess *session, args [][]byte) error {
+	if len(args) != 0 {
+		return errBadArgs
+	}
+	payload := s.metricsText()
+	sess.w.WriteString("METRICS ")
+	sess.writeInt(int64(len(payload)))
+	sess.w.WriteString("\r\n")
+	sess.w.WriteString(payload)
+	_, err := sess.w.WriteString("\r\n")
+	return err
+}
+
+// readPayload validates a <key> <nbytes> header pair and reads the
+// CRLF-terminated payload. The returned key is a fresh string (it outlives
+// the read buffer); the value is freshly allocated (the store owns it).
+func (sess *session) readPayload(keyField, lenField []byte) (key string, value []byte, err error) {
+	if len(keyField) > MaxKeyLen {
+		return "", nil, errKeyTooLong
+	}
+	n, err := parseLength(lenField)
+	if err != nil || n < 0 || n > MaxValueSize {
+		return "", nil, errBadLength
+	}
+	// Copy the key BEFORE reading the payload: keyField aliases the
+	// reader's buffer, which the payload read refills.
+	key = string(keyField)
+	value = make([]byte, n)
+	if _, err := io.ReadFull(sess.r, value); err != nil {
+		return "", nil, err
+	}
+	if err := sess.expectCRLF(); err != nil {
+		return "", nil, err
+	}
+	return key, value, nil
+}
+
+// writeValueOrMiss writes "VALUE <n>\r\n<payload>\r\n" or "NOT_FOUND\r\n".
+func (sess *session) writeValueOrMiss(value []byte, ok bool) error {
+	if !ok {
+		_, err := sess.w.WriteString("NOT_FOUND\r\n")
+		return err
+	}
+	sess.w.WriteString("VALUE ")
+	sess.writeInt(int64(len(value)))
+	sess.w.WriteString("\r\n")
+	sess.w.Write(value)
+	_, err := sess.w.WriteString("\r\n")
+	return err
+}
+
+func (sess *session) writeInt(n int64) {
+	sess.num = strconv.AppendInt(sess.num[:0], n, 10)
+	sess.w.Write(sess.num)
+}
+
+// readLine returns the next line without its \r\n (or \n) terminator. The
+// returned slice aliases the reader's buffer (or sess.long for oversized
+// lines) and is only valid until the next read.
+func (sess *session) readLine() ([]byte, error) {
+	line, err := sess.r.ReadSlice('\n')
+	if err == nil {
+		return trimCRLF(line), nil
+	}
+	if err != bufio.ErrBufferFull {
+		return nil, err
+	}
+	// Slow path: the line exceeds the buffer; accumulate into sess.long.
+	long := append(sess.long[:0], line...)
+	for {
+		if len(long) > maxLineLen {
+			return nil, errLineTooLong
+		}
+		line, err = sess.r.ReadSlice('\n')
+		long = append(long, line...)
+		if err == nil {
+			sess.long = long
+			return trimCRLF(long), nil
+		}
+		if err != bufio.ErrBufferFull {
+			return nil, err
+		}
+	}
+}
+
+func trimCRLF(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line
+}
+
+func (sess *session) expectCRLF() error {
+	b, err := sess.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if b != '\r' {
+		return errBadPayload
+	}
+	b, err = sess.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if b != '\n' {
+		return errBadPayload
+	}
+	return nil
+}
+
+// splitFields appends line's space-separated fields to out (reusing its
+// backing array). Fields alias line.
+func splitFields(line []byte, out [][]byte) [][]byte {
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' {
+			i++
+		}
+		if i > start {
+			out = append(out, line[start:i])
+		}
+	}
+	return out
+}
+
+// cmdEq reports whether cmd equals the (uppercase) verb, ASCII
+// case-insensitively, without allocating.
+func cmdEq(cmd []byte, verb string) bool {
+	if len(cmd) != len(verb) {
+		return false
+	}
+	for i := 0; i < len(cmd); i++ {
+		c := cmd[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != verb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// parseLength parses a non-negative decimal integer field.
+func parseLength(b []byte) (int, error) {
+	if len(b) == 0 || len(b) > 10 {
+		return 0, errBadLength
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, errBadLength
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}
+
+// metricsText refreshes the store-level and per-shard gauges and renders
+// the registry in the Prometheus text exposition format.
 func (s *Server) metricsText() string {
 	items, hits, misses := s.store.stats()
 	s.tel.items.Set(float64(items))
 	s.tel.hits.Set(float64(hits))
 	s.tel.misses.Set(float64(misses))
+	for i, g := range s.tel.shardItems {
+		n, _, _, _ := s.store.shardStats(i)
+		g.Set(float64(n))
+	}
 	return s.reg.Prometheus()
-}
-
-// readLine reads a \r\n- (or \n-) terminated line without the terminator.
-func readLine(r *bufio.Reader) (string, error) {
-	line, err := r.ReadString('\n')
-	if err != nil {
-		return "", err
-	}
-	return strings.TrimRight(line, "\r\n"), nil
-}
-
-func expectCRLF(r *bufio.Reader) error {
-	b := make([]byte, 2)
-	if _, err := io.ReadFull(r, b); err != nil {
-		return err
-	}
-	if b[0] != '\r' || b[1] != '\n' {
-		return fmt.Errorf("payload not CRLF-terminated")
-	}
-	return nil
-}
-
-func sanitise(msg string) string {
-	return strings.Map(func(r rune) rune {
-		if r == '\r' || r == '\n' {
-			return ' '
-		}
-		return r
-	}, msg)
 }

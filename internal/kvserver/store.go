@@ -1,0 +1,252 @@
+package kvserver
+
+import "sync"
+
+// The value store is an N-way sharded LRU: keys are FNV-1a-hashed to a
+// shard, each shard is an independent mutex-guarded LRU with its own slice
+// of the item capacity and its own hit/miss counters. Concurrent GET/SET on
+// different shards never contend; STATS and METRICS aggregate across
+// shards.
+//
+// Shard count is a power of two chosen from the capacity: one shard per
+// minShardItems items, capped at maxAutoShards. Small stores (capacity <
+// 2*minShardItems) stay single-sharded, which preserves strict global LRU
+// ordering — the sharded arrangement is LRU *per shard*, so eviction order
+// across the whole store is only approximately LRU.
+
+const (
+	// minShardItems is the smallest per-shard capacity the automatic
+	// shard-count heuristic will produce.
+	minShardItems = 64
+	// maxAutoShards caps the automatic shard count.
+	maxAutoShards = 16
+	// MaxShards caps an explicit Options.Shards request.
+	MaxShards = 256
+)
+
+// store routes keys across shards.
+type store struct {
+	shards []*shard
+	mask   uint32
+}
+
+// shard is one independent LRU partition.
+type shard struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*kvNode
+	head     *kvNode // most recently used
+	tail     *kvNode
+	hits     int64
+	misses   int64
+}
+
+type kvNode struct {
+	key        string
+	value      []byte
+	prev, next *kvNode
+}
+
+// autoShards picks a power-of-two shard count for capacity.
+func autoShards(capacity int) int {
+	n := capacity / minShardItems
+	if n < 1 {
+		n = 1
+	}
+	if n > maxAutoShards {
+		n = maxAutoShards
+	}
+	return floorPow2(n)
+}
+
+func floorPow2(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
+// newStore builds a store with the automatic shard count for capacity.
+func newStore(capacity int) *store {
+	return newStoreShards(capacity, autoShards(capacity))
+}
+
+// newStoreShards builds a store with an explicit shard count (rounded down
+// to a power of two, clamped to [1, capacity] so every shard holds at least
+// one item).
+func newStoreShards(capacity, shards int) *store {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	shards = floorPow2(shards)
+	s := &store{shards: make([]*shard, shards), mask: uint32(shards - 1)}
+	// Split the capacity exactly: base items per shard, the remainder
+	// spread one-each over the first shards, so sum(shard capacities) ==
+	// capacity.
+	base, rem := capacity/shards, capacity%shards
+	for i := range s.shards {
+		cap := base
+		if i < rem {
+			cap++
+		}
+		s.shards[i] = &shard{capacity: cap, entries: make(map[string]*kvNode, cap)}
+	}
+	return s
+}
+
+// fnv1a is the 32-bit FNV-1a hash of key.
+func fnv1a(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
+func (s *store) shardFor(key string) *shard {
+	return s.shards[fnv1a(key)&s.mask]
+}
+
+func (s *store) get(key string) ([]byte, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n, ok := sh.entries[key]
+	if !ok {
+		sh.misses++
+		return nil, false
+	}
+	sh.hits++
+	sh.moveToFront(n)
+	return n.value, true
+}
+
+// getBytes is get with a []byte key: the map lookup via string(key)
+// compiles to an allocation-free conversion, so the hot GET path never
+// copies the key.
+func (s *store) getBytes(key []byte) ([]byte, bool) {
+	sh := s.shards[fnv1aBytes(key)&s.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n, ok := sh.entries[string(key)]
+	if !ok {
+		sh.misses++
+		return nil, false
+	}
+	sh.hits++
+	sh.moveToFront(n)
+	return n.value, true
+}
+
+func fnv1aBytes(key []byte) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
+func (s *store) set(key string, value []byte) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if n, ok := sh.entries[key]; ok {
+		n.value = value
+		sh.moveToFront(n)
+		return
+	}
+	if len(sh.entries) >= sh.capacity && sh.tail != nil {
+		victim := sh.tail
+		sh.unlink(victim)
+		delete(sh.entries, victim.key)
+	}
+	n := &kvNode{key: key, value: value}
+	sh.entries[key] = n
+	sh.pushFront(n)
+}
+
+func (s *store) del(key string) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n, ok := sh.entries[key]
+	if !ok {
+		return false
+	}
+	sh.unlink(n)
+	delete(sh.entries, key)
+	return true
+}
+
+// stats aggregates (items, hits, misses) across shards. The counters are
+// read per shard under that shard's lock, so the totals are a consistent
+// sum of per-shard snapshots (not a single global snapshot — concurrent
+// ops may land between shard reads, as with any sharded counter).
+func (s *store) stats() (items int, hits, misses int64) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		items += len(sh.entries)
+		hits += sh.hits
+		misses += sh.misses
+		sh.mu.Unlock()
+	}
+	return items, hits, misses
+}
+
+// shardStats reports (items, hits, misses, capacity) for shard i.
+func (s *store) shardStats(i int) (items int, hits, misses int64, capacity int) {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.entries), sh.hits, sh.misses, sh.capacity
+}
+
+func (s *store) numShards() int { return len(s.shards) }
+
+func (sh *shard) pushFront(n *kvNode) {
+	n.prev = nil
+	n.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = n
+	}
+	sh.head = n
+	if sh.tail == nil {
+		sh.tail = n
+	}
+}
+
+func (sh *shard) unlink(n *kvNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		sh.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		sh.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (sh *shard) moveToFront(n *kvNode) {
+	if sh.head == n {
+		return
+	}
+	sh.unlink(n)
+	sh.pushFront(n)
+}

@@ -1,0 +1,92 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfBounds(t *testing.T) {
+	z := NewZipf(New(1), 0.99, 100)
+	for i := 0; i < 10000; i++ {
+		k := z.Next()
+		if k < 0 || k >= 100 {
+			t.Fatalf("draw %d out of range", k)
+		}
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(New(7), 1.1, 1000)
+	b := NewZipf(New(7), 1.1, 1000)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d diverged: %d != %d", i, x, y)
+		}
+	}
+}
+
+// TestZipfSkew: with s≈1 the head ranks dominate; rank 0 must be drawn
+// far more often than a mid-range rank, and the hottest 10%% of ranks must
+// carry well over half the draws.
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 1000, 200000
+	z := NewZipf(New(42), 0.99, n)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] < 10*counts[n/2] {
+		t.Fatalf("rank 0 drawn %d times vs rank %d %d times — not zipfian",
+			counts[0], n/2, counts[n/2])
+	}
+	head := 0
+	for _, c := range counts[:n/10] {
+		head += c
+	}
+	if frac := float64(head) / draws; frac < 0.5 {
+		t.Fatalf("hottest 10%% carries only %.2f of draws", frac)
+	}
+}
+
+// TestZipfUniform: s = 0 degenerates to the uniform distribution.
+func TestZipfUniform(t *testing.T) {
+	const n, draws = 100, 100000
+	z := NewZipf(New(3), 0, n)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	mean := float64(draws) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-mean) > mean/2 {
+			t.Fatalf("rank %d drawn %d times, mean %.0f — not uniform", k, c, mean)
+		}
+	}
+}
+
+func TestZipfSingleton(t *testing.T) {
+	z := NewZipf(New(1), 2.0, 1)
+	for i := 0; i < 100; i++ {
+		if z.Next() != 0 {
+			t.Fatal("singleton range must always draw 0")
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"n=0":   func() { NewZipf(New(1), 1, 0) },
+		"s<0":   func() { NewZipf(New(1), -1, 10) },
+		"s=NaN": func() { NewZipf(New(1), math.NaN(), 10) },
+		"nil r": func() { NewZipf(nil, 1, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Runs the parallel hot-path benchmarks: tensor matmul kernels (serial vs
-# parallel vs worker sweep), semantic batch scoring, and end-to-end training
-# epochs with and without the prefetch pipeline.
+# parallel vs worker sweep), semantic batch scoring, end-to-end training
+# epochs with and without the prefetch pipeline, and the kvserver serving
+# path (serial vs pipelined vs MGET wire disciplines).
 #
 # Default is a -benchtime=1x smoke run (each benchmark executes once, so CI
 # catches breakage cheaply). Pass a different -benchtime for real numbers:
@@ -16,3 +17,12 @@ BENCHTIME="${BENCHTIME:-1x}"
 go test -run '^$' -bench 'BenchmarkMatMul' -benchtime "$BENCHTIME" ./internal/tensor/
 go test -run '^$' -bench 'BenchmarkScoreBatch' -benchtime "$BENCHTIME" ./internal/semgraph/
 go test -run '^$' -bench 'BenchmarkEpoch' -benchtime "$BENCHTIME" ./internal/trainer/
+go test -run '^$' -bench 'BenchmarkServerGet|BenchmarkStoreGet' -benchtime "$BENCHTIME" ./internal/kvserver/
+
+# kvserver throughput smoke: an in-process server driven by the spiderload
+# closed-loop generator, once at one-op-per-round-trip and once pipelined.
+# Scaled small so CI stays cheap; raise -ops for real measurements.
+LOAD_OPS="${LOAD_OPS:-20000}"
+go run ./cmd/spiderload -ops "$LOAD_OPS" -conns 2 -pipeline 1
+go run ./cmd/spiderload -ops "$LOAD_OPS" -conns 2 -pipeline 16
+go run ./cmd/spiderload -ops "$LOAD_OPS" -conns 2 -batch 16
