@@ -1,0 +1,80 @@
+package main
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"spidercache/internal/lint"
+)
+
+func TestSelectChecks(t *testing.T) {
+	all := lint.CheckNames()
+
+	got, err := selectChecks("", "")
+	if err != nil || len(got) != len(all) {
+		t.Fatalf("default selection = %d checks (%v), want all %d", len(got), err, len(all))
+	}
+
+	got, err = selectChecks("determinism,errcheck", "")
+	if err != nil || len(got) != 2 || got[0].Name != "determinism" || got[1].Name != "errcheck" {
+		t.Fatalf("-checks selection = %v (%v)", names(got), err)
+	}
+
+	got, err = selectChecks("", "errcheck")
+	if err != nil {
+		t.Fatalf("-disable: %v", err)
+	}
+	for _, c := range got {
+		if c.Name == "errcheck" {
+			t.Fatal("-disable errcheck left errcheck enabled")
+		}
+	}
+	if len(got) != len(all)-1 {
+		t.Fatalf("-disable errcheck kept %d checks, want %d", len(got), len(all)-1)
+	}
+
+	if _, err = selectChecks("nosuch", ""); err == nil || !strings.Contains(err.Error(), "unknown check") {
+		t.Fatalf("unknown -checks name: err = %v", err)
+	}
+	if _, err = selectChecks("determinism", "determinism"); err == nil {
+		t.Fatal("enabling and disabling the only check must error, not run nothing")
+	}
+}
+
+func names(cs []*lint.Check) []string {
+	var out []string
+	for _, c := range cs {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+func TestFilterByPatterns(t *testing.T) {
+	m := &lint.Module{Path: "spidercache", Dir: "/repo"}
+	diag := func(file string) lint.Diagnostic {
+		return lint.Diagnostic{Pos: token.Position{Filename: file, Line: 1}, Check: "x", Message: "m"}
+	}
+	diags := []lint.Diagnostic{
+		diag("/repo/internal/kvserver/server.go"),
+		diag("/repo/internal/kvserver/deep/extra.go"),
+		diag("/repo/internal/tensor/matmul.go"),
+		diag("/repo/main.go"),
+	}
+
+	if got := filterByPatterns(m, diags, nil); len(got) != 4 {
+		t.Errorf("no patterns: kept %d, want 4", len(got))
+	}
+	if got := filterByPatterns(m, diags, []string{"./..."}); len(got) != 4 {
+		t.Errorf("./...: kept %d, want 4", len(got))
+	}
+	if got := filterByPatterns(m, diags, []string{"./internal/kvserver"}); len(got) != 1 {
+		t.Errorf("./internal/kvserver: kept %d, want 1", len(got))
+	}
+	if got := filterByPatterns(m, diags, []string{"./internal/kvserver/..."}); len(got) != 2 {
+		t.Errorf("./internal/kvserver/...: kept %d, want 2", len(got))
+	}
+	if got := filterByPatterns(m, diags, []string{"internal/tensor", "./internal/kvserver"}); len(got) != 2 {
+		t.Errorf("two patterns: kept %d, want 2", len(got))
+	}
+}

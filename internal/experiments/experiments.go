@@ -132,6 +132,7 @@ var aliases = map[string]string{
 // List returns all canonical experiment IDs in a stable order.
 func List() []string {
 	ids := make([]string, 0, len(registry))
+	//lint:ignore determinism order-insensitive collect; sorted before returning
 	for id := range registry {
 		ids = append(ids, id)
 	}

@@ -53,7 +53,9 @@ func DialWith(addr string, opts DialOptions) (*Client, error) {
 
 // Close sends QUIT and closes the connection.
 func (c *Client) Close() error {
+	//lint:ignore errcheck QUIT is a best-effort courtesy; Close reports the real failure
 	fmt.Fprint(c.w, "QUIT\r\n")
+	//lint:ignore errcheck QUIT is a best-effort courtesy; Close reports the real failure
 	c.flush()
 	return c.conn.Close()
 }
@@ -62,22 +64,27 @@ func (c *Client) Close() error {
 // buffer.
 func (c *Client) flush() error {
 	if c.opts.WriteTimeout > 0 {
-		c.conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout)); err != nil {
+			return err
+		}
 	}
 	return c.w.Flush()
 }
 
 // armRead arms the read deadline (if configured) before a reply read.
-func (c *Client) armRead() {
+func (c *Client) armRead() error {
 	if c.opts.ReadTimeout > 0 {
-		c.conn.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout))
+		return c.conn.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout))
 	}
+	return nil
 }
 
 // readLine reads a \r\n- (or \n-) terminated reply line without the
 // terminator.
 func (c *Client) readLine() (string, error) {
-	c.armRead()
+	if err := c.armRead(); err != nil {
+		return "", err
+	}
 	line, err := c.r.ReadString('\n')
 	if err != nil {
 		return "", err
@@ -87,7 +94,9 @@ func (c *Client) readLine() (string, error) {
 
 // readFull fills buf from the reply stream.
 func (c *Client) readFull(buf []byte) error {
-	c.armRead()
+	if err := c.armRead(); err != nil {
+		return err
+	}
 	_, err := io.ReadFull(c.r, buf)
 	return err
 }
@@ -262,7 +271,9 @@ func (c *Client) MSet(keys []string, values [][]byte) error {
 		if end > len(keys) {
 			end = len(keys)
 		}
-		fmt.Fprintf(c.w, "MSET %d\r\n", end-start)
+		if _, err := fmt.Fprintf(c.w, "MSET %d\r\n", end-start); err != nil {
+			return err
+		}
 		for i := start; i < end; i++ {
 			if err := c.writeSetFrame("", keys[i], values[i]); err != nil {
 				return err

@@ -29,11 +29,11 @@ func FuzzServeOne(f *testing.F) {
 	f.Add([]byte("MGET a b c\r\n"))
 	f.Add([]byte("MGET\r\n"))
 	f.Add([]byte("MSET 2\r\na 1\r\nx\r\nb 1\r\ny\r\n"))
-	f.Add([]byte("MSET 2\r\na 1\r\nx\r\n"))        // truncated batch
-	f.Add([]byte("MSET 0\r\n"))                    // zero count
-	f.Add([]byte("MSET -1\r\n"))                   // bad count
-	f.Add([]byte("MSET 999999999\r\n"))            // over MaxBatchOps
-	f.Add([]byte("MSET 1\r\na b c\r\n"))           // malformed frame
+	f.Add([]byte("MSET 2\r\na 1\r\nx\r\n")) // truncated batch
+	f.Add([]byte("MSET 0\r\n"))             // zero count
+	f.Add([]byte("MSET -1\r\n"))            // bad count
+	f.Add([]byte("MSET 999999999\r\n"))     // over MaxBatchOps
+	f.Add([]byte("MSET 1\r\na b c\r\n"))    // malformed frame
 	// Pipelined multi-command streams.
 	f.Add([]byte("SET k 1\r\nv\r\nGET k\r\nDEL k\r\nGET k\r\n"))
 	f.Add([]byte("MSET 1\r\na 1\r\nz\r\nMGET a b\r\nSTATS\r\n"))

@@ -6,9 +6,12 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"spidercache/internal/leakcheck"
 )
 
 func TestPoolBasicOps(t *testing.T) {
+	leakcheck.Check(t)
 	srv := startServer(t, 64)
 	pool, err := NewPool(srv.Addr(), PoolOptions{Size: 2})
 	if err != nil {
@@ -36,6 +39,7 @@ func TestPoolBasicOps(t *testing.T) {
 }
 
 func TestPoolConcurrent(t *testing.T) {
+	leakcheck.Check(t)
 	srv := startServer(t, 4096)
 	pool, err := NewPool(srv.Addr(), PoolOptions{Size: 4})
 	if err != nil {
@@ -75,6 +79,7 @@ func TestPoolConcurrent(t *testing.T) {
 // TestPoolRecoversFromBrokenConn: an op error discards the connection and
 // the slot redials lazily, so the pool keeps working at full size.
 func TestPoolRecoversFromBrokenConn(t *testing.T) {
+	leakcheck.Check(t)
 	srv := startServer(t, 64)
 	pool, err := NewPool(srv.Addr(), PoolOptions{Size: 1})
 	if err != nil {
@@ -99,6 +104,7 @@ func TestPoolRecoversFromBrokenConn(t *testing.T) {
 }
 
 func TestPoolPipeline(t *testing.T) {
+	leakcheck.Check(t)
 	srv := startServer(t, 64)
 	pool, err := NewPool(srv.Addr(), PoolOptions{Size: 2})
 	if err != nil {
@@ -126,6 +132,7 @@ func TestPoolPipeline(t *testing.T) {
 }
 
 func TestPoolClose(t *testing.T) {
+	leakcheck.Check(t)
 	srv := startServer(t, 4)
 	pool, err := NewPool(srv.Addr(), PoolOptions{Size: 2})
 	if err != nil {
@@ -143,6 +150,7 @@ func TestPoolClose(t *testing.T) {
 }
 
 func TestPoolDeadlines(t *testing.T) {
+	leakcheck.Check(t)
 	srv := startServer(t, 64)
 	pool, err := NewPool(srv.Addr(), PoolOptions{
 		Size: 1,
@@ -170,6 +178,7 @@ func TestPoolDeadlines(t *testing.T) {
 // TestDialTimeoutIsApplied: a deadline-configured client times out reading
 // from a server that never replies, instead of blocking forever.
 func TestReadTimeout(t *testing.T) {
+	leakcheck.Check(t)
 	// A listener that accepts and then stays silent.
 	srv := startServer(t, 4)
 	c, err := DialWith(srv.Addr(), DialOptions{ReadTimeout: 50 * time.Millisecond})

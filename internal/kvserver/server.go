@@ -118,10 +118,10 @@ type Server struct {
 
 // serverTelemetry groups the per-op instruments, resolved once at startup.
 type serverTelemetry struct {
-	getHit, getMiss   *telemetry.Counter
-	mgetHit, mgetMiss *telemetry.Counter
-	setOps, msetOps   *telemetry.Counter
-	delHit, delMiss   *telemetry.Counter
+	getHit, getMiss        *telemetry.Counter
+	mgetHit, mgetMiss      *telemetry.Counter
+	setOps, msetOps        *telemetry.Counter
+	delHit, delMiss        *telemetry.Counter
 	getLat, setLat, delLat *telemetry.Histogram
 	mgetLat, msetLat       *telemetry.Histogram
 	items, hits, misses    *telemetry.Gauge
@@ -138,23 +138,23 @@ func newServerTelemetry(reg *telemetry.Registry, shards int) serverTelemetry {
 	reg.Describe("kv_net_flushes_total", "network flushes; each may carry many pipelined replies")
 	reg.Describe("kv_pipeline_depth", "requests served per network flush")
 	tel := serverTelemetry{
-		getHit:   reg.Counter("kv_ops_total", telemetry.Labels{"op": "get", "result": "hit"}),
-		getMiss:  reg.Counter("kv_ops_total", telemetry.Labels{"op": "get", "result": "miss"}),
-		mgetHit:  reg.Counter("kv_ops_total", telemetry.Labels{"op": "mget", "result": "hit"}),
-		mgetMiss: reg.Counter("kv_ops_total", telemetry.Labels{"op": "mget", "result": "miss"}),
-		setOps:   reg.Counter("kv_ops_total", telemetry.Labels{"op": "set", "result": "stored"}),
-		msetOps:  reg.Counter("kv_ops_total", telemetry.Labels{"op": "mset", "result": "stored"}),
-		delHit:   reg.Counter("kv_ops_total", telemetry.Labels{"op": "del", "result": "deleted"}),
-		delMiss:  reg.Counter("kv_ops_total", telemetry.Labels{"op": "del", "result": "miss"}),
-		getLat:   reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "get"}),
-		setLat:   reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "set"}),
-		delLat:   reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "del"}),
-		mgetLat:  reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "mget"}),
-		msetLat:  reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "mset"}),
-		items:    reg.Gauge("kv_items", nil),
-		hits:     reg.Gauge("kv_hits", nil),
-		misses:   reg.Gauge("kv_misses", nil),
-		flushes:  reg.Counter("kv_net_flushes_total", nil),
+		getHit:        reg.Counter("kv_ops_total", telemetry.Labels{"op": "get", "result": "hit"}),
+		getMiss:       reg.Counter("kv_ops_total", telemetry.Labels{"op": "get", "result": "miss"}),
+		mgetHit:       reg.Counter("kv_ops_total", telemetry.Labels{"op": "mget", "result": "hit"}),
+		mgetMiss:      reg.Counter("kv_ops_total", telemetry.Labels{"op": "mget", "result": "miss"}),
+		setOps:        reg.Counter("kv_ops_total", telemetry.Labels{"op": "set", "result": "stored"}),
+		msetOps:       reg.Counter("kv_ops_total", telemetry.Labels{"op": "mset", "result": "stored"}),
+		delHit:        reg.Counter("kv_ops_total", telemetry.Labels{"op": "del", "result": "deleted"}),
+		delMiss:       reg.Counter("kv_ops_total", telemetry.Labels{"op": "del", "result": "miss"}),
+		getLat:        reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "get"}),
+		setLat:        reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "set"}),
+		delLat:        reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "del"}),
+		mgetLat:       reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "mget"}),
+		msetLat:       reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "mset"}),
+		items:         reg.Gauge("kv_items", nil),
+		hits:          reg.Gauge("kv_hits", nil),
+		misses:        reg.Gauge("kv_misses", nil),
+		flushes:       reg.Counter("kv_net_flushes_total", nil),
 		pipelineDepth: reg.Histogram("kv_pipeline_depth", nil),
 	}
 	tel.shardItems = make([]*telemetry.Gauge, shards)
@@ -268,8 +268,8 @@ const connBufSize = 16 << 10
 // few ops, close — the load generator's default mode) would otherwise
 // allocate two 16KiB buffers plus parse scratch per connection.
 var (
-	readerPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, connBufSize) }}
-	writerPool = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, connBufSize) }}
+	readerPool  = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, connBufSize) }}
+	writerPool  = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, connBufSize) }}
 	sessionPool = sync.Pool{New: func() any { return &session{} }}
 )
 
@@ -317,6 +317,7 @@ func (s *Server) handle(conn net.Conn) {
 				w.WriteString(string(pe))
 				w.WriteString("\r\n")
 			}
+			//lint:ignore errcheck connection is closing; nothing can act on a flush failure
 			w.Flush()
 			return
 		}

@@ -1,0 +1,99 @@
+package lint
+
+import "testing"
+
+func TestDeterminismPositive(t *testing.T) {
+	cfg := Config{DeterministicPkgs: []string{"det"}}
+	m := fixture(t, map[string]map[string]string{
+		"det": {"det.go": `package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Clock() (time.Time, time.Duration) {
+	start := time.Now()
+	return start, time.Since(start)
+}
+
+func GlobalRand() int {
+	return rand.Intn(10)
+}
+
+func MapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+`},
+	})
+	diags := runNamed(t, m, cfg, "determinism")
+	wantDiag(t, diags, "determinism", "time.Now", 1)
+	wantDiag(t, diags, "determinism", "time.Since", 1)
+	wantDiag(t, diags, "determinism", "global math/rand.Intn", 1)
+	wantDiag(t, diags, "determinism", "map iteration order", 1)
+}
+
+func TestDeterminismNegative(t *testing.T) {
+	cfg := Config{DeterministicPkgs: []string{"det"}}
+	m := fixture(t, map[string]map[string]string{
+		"det": {"det.go": `package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// A seeded generator is the sanctioned source: the New* constructors and
+// methods on the seeded *rand.Rand must stay silent.
+func Seeded() int {
+	rng := rand.New(rand.NewSource(42))
+	return rng.Intn(10)
+}
+
+// Ranging over a slice is ordered.
+func SliceOrder(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// time types without a clock read are fine.
+func Budget(d time.Duration) time.Duration { return 2 * d }
+
+var _ = sort.Strings
+`},
+		// The same hazards outside DeterministicPkgs are not findings.
+		"free": {"free.go": `package free
+
+import "time"
+
+func Clock() time.Time { return time.Now() }
+`},
+	})
+	wantNone(t, runNamed(t, m, cfg, "determinism"))
+}
+
+func TestDeterminismSuppression(t *testing.T) {
+	cfg := Config{DeterministicPkgs: []string{"det"}}
+	m := fixture(t, map[string]map[string]string{
+		"det": {"det.go": `package det
+
+import "time"
+
+func Timed() time.Duration {
+	//lint:ignore determinism fixture models telemetry-only timing
+	start := time.Now()
+	//lint:ignore determinism fixture models telemetry-only timing
+	return time.Since(start)
+}
+`},
+	})
+	wantNone(t, runNamed(t, m, cfg, "determinism"))
+}

@@ -1,0 +1,99 @@
+package lint
+
+import "testing"
+
+func TestErrcheckPositive(t *testing.T) {
+	cfg := Config{ErrcheckPkgs: []string{"kv"}}
+	m := fixture(t, map[string]map[string]string{
+		"kv": {"kv.go": `package kv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+type conn struct {
+	w *bufio.Writer
+}
+
+func (c *conn) flush() error { return c.w.Flush() }
+
+func Drops(c *conn, w io.Writer) {
+	fmt.Fprintf(c.w, "GET %s\r\n", "k") // indirect write, error dropped
+	io.WriteString(w, "payload")        // ditto
+	c.w.Flush()                         // the flush is where sticky errors surface
+	c.flush()                           // same through the repo's own helper
+}
+`},
+	})
+	diags := runNamed(t, m, cfg, "errcheck")
+	wantDiag(t, diags, "errcheck", "fmt.Fprintf", 1)
+	wantDiag(t, diags, "errcheck", "io.WriteString", 1)
+	wantDiag(t, diags, "errcheck", "c.w.Flush", 1)
+	wantDiag(t, diags, "errcheck", "c.flush", 1)
+}
+
+func TestErrcheckNegative(t *testing.T) {
+	cfg := Config{ErrcheckPkgs: []string{"kv"}}
+	m := fixture(t, map[string]map[string]string{
+		"kv": {"kv.go": `package kv
+
+import (
+	"bufio"
+	"fmt"
+)
+
+type conn struct {
+	w *bufio.Writer
+}
+
+func (c *conn) flush() error { return c.w.Flush() }
+
+// Handled, visibly discarded, or exempt intermediate writes.
+func Fine(c *conn) error {
+	c.w.WriteString("SET ")      // intermediate bufio write: sticky, exempt
+	c.w.WriteByte(' ')           // ditto
+	if _, err := fmt.Fprintf(c.w, "%d\r\n", 3); err != nil {
+		return err
+	}
+	_ = c.flush() // visible intent
+	return c.flush()
+}
+`},
+		// The same drops outside ErrcheckPkgs are not findings.
+		"free": {"free.go": `package free
+
+import (
+	"fmt"
+	"io"
+)
+
+func Drops(w io.Writer) {
+	fmt.Fprintln(w, "hello")
+}
+`},
+	})
+	wantNone(t, runNamed(t, m, cfg, "errcheck"))
+}
+
+func TestErrcheckSuppression(t *testing.T) {
+	cfg := Config{ErrcheckPkgs: []string{"kv"}}
+	m := fixture(t, map[string]map[string]string{
+		"kv": {"kv.go": `package kv
+
+import (
+	"bufio"
+	"fmt"
+)
+
+func Courtesy(w *bufio.Writer) {
+	//lint:ignore errcheck fixture models a best-effort goodbye
+	fmt.Fprint(w, "QUIT\r\n")
+	//lint:ignore errcheck fixture models a best-effort goodbye
+	w.Flush()
+}
+`},
+	})
+	wantNone(t, runNamed(t, m, cfg, "errcheck"))
+}

@@ -1,0 +1,325 @@
+// Package lint is spidercache's project-specific static analyzer: a small,
+// self-contained framework (go/parser + go/ast + go/types with the source
+// importer — no golang.org/x/tools, so it runs offline) plus a suite of
+// checks that mechanically enforce invariants the repository's correctness
+// rests on but ordinary tooling cannot see:
+//
+//   - determinism    — no time.Now / global math/rand / map-order iteration
+//     in the packages whose outputs must be bitwise-reproducible
+//   - mutexhygiene   — Lock without a reachable Unlock on every return path;
+//     RWMutex write-lock held across channel ops or blocking calls
+//   - protostrings   — kvserver SERVER_ERROR payloads only from the declared
+//     stable constant set (server, client and fuzzers stay in lockstep)
+//   - metricnames    — telemetry names are snake_case, counters end _total,
+//     each family is registered from exactly one function
+//   - errcheck       — ignored error returns from io/net writes on the
+//     kvserver hot path
+//
+// Findings are file:line diagnostics; a finding that is intentional is
+// suppressed in place with
+//
+//	//lint:ignore <check> <reason>
+//
+// on, or on the line above, the flagged line. The reason is mandatory — an
+// annotation without one is itself a diagnostic. `go run ./cmd/spiderlint
+// ./...` exits nonzero on any finding and is part of the tier-1 verify
+// recipe (see scripts/check.sh).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Check is one analyzer: a name (the //lint:ignore key and -checks flag
+// value), one-line documentation, and a Run hook over the whole module.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Config scopes the path-sensitive checks. Paths are import-path suffixes
+// relative to the module root ("internal/tensor" matches
+// "spidercache/internal/tensor"); an empty list disables the check.
+type Config struct {
+	// DeterministicPkgs are the packages whose outputs must be bitwise
+	// reproducible: the determinism check applies only there.
+	DeterministicPkgs []string
+	// ProtoPkgs are the packages holding wire-protocol error strings: the
+	// protostrings check applies only there.
+	ProtoPkgs []string
+	// ErrcheckPkgs are the packages where ignored io/net write errors are
+	// findings.
+	ErrcheckPkgs []string
+}
+
+// DefaultConfig scopes the checks to this repository's invariants.
+func DefaultConfig() Config {
+	return Config{
+		// The parallel kernels, batch scorer, policy core, trainer and
+		// elastic controller must stay bitwise-identical run to run (and
+		// parallel-vs-serial); metrics and experiments render tables whose
+		// row order must be stable across runs.
+		DeterministicPkgs: []string{
+			"internal/tensor",
+			"internal/semgraph",
+			"internal/core",
+			"internal/trainer",
+			"internal/elastic",
+			"internal/metrics",
+			"internal/experiments",
+		},
+		ProtoPkgs:    []string{"internal/kvserver"},
+		ErrcheckPkgs: []string{"internal/kvserver"},
+	}
+}
+
+// Checks returns the full suite in reporting order.
+func Checks() []*Check {
+	return []*Check{
+		determinismCheck(),
+		mutexHygieneCheck(),
+		protoStringsCheck(),
+		metricNamesCheck(),
+		errcheckCheck(),
+	}
+}
+
+// CheckNames returns the names of every check in the suite.
+func CheckNames() []string {
+	var names []string
+	for _, c := range Checks() {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+// Pass carries one check's run over the module.
+type Pass struct {
+	Cfg    Config
+	Module *Module
+	check  *Check
+	diags  *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Module.Fset.Position(pos),
+		Check:   p.check.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// PackagesMatching returns the module packages whose module-relative path
+// matches one of the configured suffix patterns.
+func (p *Pass) PackagesMatching(patterns []string) []*Package {
+	var out []*Package
+	for _, pkg := range p.Module.Packages {
+		if pathMatches(pkg.RelPath(p.Module), patterns) {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}
+
+func pathMatches(rel string, patterns []string) bool {
+	for _, pat := range patterns {
+		if rel == pat || strings.HasSuffix(rel, "/"+pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveCheck names the framework's own diagnostics about malformed
+// //lint: comments.
+const directiveCheck = "lintdirective"
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos    token.Position
+	check  string
+	reason string
+}
+
+// Run executes the given checks over the module and returns the surviving
+// diagnostics sorted by position. Findings carrying a matching
+// //lint:ignore annotation are dropped; malformed annotations surface as
+// "lintdirective" findings so a typoed suppression can never silently turn
+// a check off.
+func Run(m *Module, cfg Config, checks []*Check) []Diagnostic {
+	var diags []Diagnostic
+
+	// Type errors make every downstream fact suspect; report them as
+	// first-class findings instead of guessing on a broken tree.
+	for _, pkg := range m.Packages {
+		for _, err := range pkg.TypeErrors {
+			d := Diagnostic{Check: "typecheck", Message: err.Error()}
+			if te, ok := err.(types.Error); ok {
+				d.Pos = te.Fset.Position(te.Pos)
+				d.Message = te.Msg
+			} else if len(pkg.Files) > 0 {
+				d.Pos = m.Fset.Position(pkg.Files[0].Pos())
+			}
+			diags = append(diags, d)
+		}
+	}
+
+	known := map[string]bool{}
+	for _, c := range Checks() {
+		known[c.Name] = true
+	}
+	ignores, dirDiags := collectDirectives(m, known)
+	diags = append(diags, dirDiags...)
+
+	for _, c := range checks {
+		pass := &Pass{Cfg: cfg, Module: m, check: c, diags: &diags}
+		c.Run(pass)
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Check != directiveCheck && suppressed(ignores, d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}
+
+// collectDirectives parses every //lint: comment in the module, returning
+// the valid ignore directives keyed by file, plus diagnostics for malformed
+// or unknown-check directives.
+func collectDirectives(m *Module, known map[string]bool) (map[string][]ignoreDirective, []Diagnostic) {
+	ignores := map[string][]ignoreDirective{}
+	var diags []Diagnostic
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//lint:")
+					if !ok {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					verb, args, _ := strings.Cut(rest, " ")
+					if verb != "ignore" {
+						diags = append(diags, Diagnostic{Pos: pos, Check: directiveCheck,
+							Message: fmt.Sprintf("unknown directive //lint:%s (only //lint:ignore <check> <reason> is supported)", verb)})
+						continue
+					}
+					checkName, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
+					reason = strings.TrimSpace(reason)
+					switch {
+					case checkName == "":
+						diags = append(diags, Diagnostic{Pos: pos, Check: directiveCheck,
+							Message: "//lint:ignore needs a check name and a reason"})
+					case !known[checkName]:
+						diags = append(diags, Diagnostic{Pos: pos, Check: directiveCheck,
+							Message: fmt.Sprintf("//lint:ignore names unknown check %q (known: %s)", checkName, strings.Join(CheckNames(), ", "))})
+					case reason == "":
+						diags = append(diags, Diagnostic{Pos: pos, Check: directiveCheck,
+							Message: fmt.Sprintf("//lint:ignore %s needs a reason", checkName)})
+					default:
+						ignores[pos.Filename] = append(ignores[pos.Filename], ignoreDirective{pos: pos, check: checkName, reason: reason})
+					}
+				}
+			}
+		}
+	}
+	return ignores, diags
+}
+
+// suppressed reports whether d carries an ignore annotation: a matching
+// directive on the same line or the line directly above.
+func suppressed(ignores map[string][]ignoreDirective, d Diagnostic) bool {
+	for _, ig := range ignores[d.Pos.Filename] {
+		if ig.check != d.Check {
+			continue
+		}
+		if ig.pos.Line == d.Pos.Line || ig.pos.Line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFuncs maps every source position interval of a file's top-level
+// function declarations to a stable identity, used by checks that attribute
+// call sites to functions.
+type funcSpan struct {
+	name       string
+	start, end token.Pos
+}
+
+func fileFuncSpans(f *ast.File) []funcSpan {
+	var spans []funcSpan
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		name := fd.Name.Name
+		if fd.Recv != nil && len(fd.Recv.List) > 0 {
+			name = recvTypeName(fd.Recv.List[0].Type) + "." + name
+		}
+		spans = append(spans, funcSpan{name: name, start: fd.Pos(), end: fd.End()})
+	}
+	return spans
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return "?"
+}
+
+// enclosingFunc returns the identity of the top-level function containing
+// pos in file f ("" when pos is at package level).
+func enclosingFunc(f *ast.File, pos token.Pos) string {
+	for _, s := range fileFuncSpans(f) {
+		if s.start <= pos && pos < s.end {
+			return s.name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestLoadRealModule is the in-test twin of `go run ./cmd/spiderlint ./...`:
+// the repository's own tree must load, type-check and come out clean under
+// the full suite. A regression that reintroduces a forbidden pattern fails
+// here even if nobody runs the CLI.
+func TestLoadRealModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped in -short")
+	}
+	m, err := LoadDir("../..")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if m.Path != "spidercache" {
+		t.Fatalf("module path = %q, want spidercache", m.Path)
+	}
+	for _, want := range []string{
+		"spidercache/internal/kvserver",
+		"spidercache/internal/tensor",
+		"spidercache/internal/telemetry",
+		"spidercache/internal/lint",
+	} {
+		if m.Lookup(want) == nil {
+			t.Errorf("module is missing package %s", want)
+		}
+	}
+	for _, pkg := range m.Packages {
+		for _, e := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, e)
+		}
+	}
+
+	diags := Run(m, DefaultConfig(), Checks())
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+func TestLoadSourcesLookupAndRelPath(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"":           {"root.go": "package fix\n"},
+		"internal/a": {"a.go": "package a\n"},
+	})
+	root := m.Lookup("fix")
+	if root == nil || root.RelPath(m) != "." {
+		t.Fatalf("root package: got %+v", root)
+	}
+	a := m.Lookup("fix/internal/a")
+	if a == nil || a.RelPath(m) != "internal/a" {
+		t.Fatalf("internal/a package: got %+v", a)
+	}
+	if m.Lookup("fix/internal/missing") != nil {
+		t.Fatal("Lookup of a missing package must return nil")
+	}
+}
+
+func TestLoadSourcesCrossPackageTypes(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"a": {"a.go": `package a
+
+type Widget struct{ N int }
+
+func New(n int) *Widget { return &Widget{N: n} }
+`},
+		"b": {"b.go": `package b
+
+import "fix/a"
+
+func Double(w *a.Widget) int { return 2 * w.N }
+
+var _ = a.New
+`},
+	})
+	for _, pkg := range m.Packages {
+		for _, e := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, e)
+		}
+	}
+}

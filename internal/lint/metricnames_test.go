@@ -1,0 +1,111 @@
+package lint
+
+import "testing"
+
+// telemetryFixture is a minimal stand-in for internal/telemetry: the check
+// keys on a Registry type in a package *named* telemetry, so the fixture
+// registry exercises the same resolution path as the real one.
+const telemetryFixture = `package telemetry
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *int                      { return new(int) }
+func (r *Registry) Gauge(name string) *int                        { return new(int) }
+func (r *Registry) Histogram(name string, buckets []float64) *int { return new(int) }
+func (r *Registry) HistogramWindow(name string, n int) *int       { return new(int) }
+func (r *Registry) Describe(name, help string)                    {}
+`
+
+func TestMetricNamesPositive(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"telemetry": {"telemetry.go": telemetryFixture},
+		"app": {"app.go": `package app
+
+import "fix/telemetry"
+
+func Register(r *telemetry.Registry, suffix string) {
+	r.Counter("RequestsTotal")          // not snake_case
+	r.Counter("requests")               // counter without _total
+	r.Gauge("queue_depth_total")        // gauge stealing the counter suffix
+	r.Counter("dyn_" + suffix)          // computed name
+	r.Describe("never_registered", "described but never created")
+}
+`},
+	})
+	diags := runNamed(t, m, DefaultConfig(), "metricnames")
+	wantDiag(t, diags, "metricnames", "not snake_case", 1)
+	wantDiag(t, diags, "metricnames", `counter "requests" must end in _total`, 1)
+	wantDiag(t, diags, "metricnames", "must not end in _total", 1)
+	wantDiag(t, diags, "metricnames", "compile-time string constant", 1)
+	wantDiag(t, diags, "metricnames", "no matching registration", 1)
+}
+
+func TestMetricNamesScattering(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"telemetry": {"telemetry.go": telemetryFixture},
+		"app": {"app.go": `package app
+
+import "fix/telemetry"
+
+// The same family registered from two functions: ownership is ambiguous.
+func RegisterA(r *telemetry.Registry) { r.Counter("shared_total") }
+func RegisterB(r *telemetry.Registry) { r.Counter("shared_total") }
+
+// The same name registered as two different kinds.
+func KindA(r *telemetry.Registry) { r.Counter("mixed_total") }
+func KindB(r *telemetry.Registry) { r.Gauge("mixed_total") }
+`},
+	})
+	diags := runNamed(t, m, DefaultConfig(), "metricnames")
+	wantDiag(t, diags, "metricnames", `"shared_total" registered from multiple functions`, 2)
+	wantDiag(t, diags, "metricnames", `"mixed_total" registered with conflicting kinds`, 2)
+}
+
+func TestMetricNamesNegative(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"telemetry": {"telemetry.go": telemetryFixture},
+		"app": {"app.go": `package app
+
+import "fix/telemetry"
+
+const opsName = "app_ops_total"
+
+// One function owns every family; names follow the convention; a named
+// constant is still a compile-time constant. Labeled families legitimately
+// register several instruments from one site.
+func Register(r *telemetry.Registry) {
+	r.Counter(opsName)
+	r.Counter("app_errors_total")
+	r.Gauge("app_queue_depth")
+	r.Histogram("app_latency_seconds", nil)
+	r.Describe(opsName, "operations served")
+}
+`},
+		// A same-shaped registry in a package NOT named telemetry is out of scope.
+		"metrics": {"metrics.go": `package metrics
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *int { return new(int) }
+
+func Use(r *Registry) { r.Counter("Whatever Goes") }
+`},
+	})
+	wantNone(t, runNamed(t, m, DefaultConfig(), "metricnames"))
+}
+
+func TestMetricNamesSuppression(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"telemetry": {"telemetry.go": telemetryFixture},
+		"app": {"app.go": `package app
+
+import "fix/telemetry"
+
+func Register(r *telemetry.Registry) {
+	//lint:ignore metricnames fixture keeps a legacy dashboard name alive
+	r.Counter("LegacyName")
+}
+`},
+	})
+	wantNone(t, runNamed(t, m, DefaultConfig(), "metricnames"))
+}

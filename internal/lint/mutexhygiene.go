@@ -1,0 +1,433 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// mutexHygieneCheck walks every function and verifies, structurally, that a
+// sync.Mutex/RWMutex acquired there is released on every return path:
+// either the next matching action is a deferred Unlock, or every return
+// statement reachable inside the critical section is preceded by an inline
+// Unlock on its path. It additionally flags channel sends/receives, select
+// statements, time.Sleep and WaitGroup.Wait executed while an RWMutex write
+// lock is held — the classic self-deadlock shape under reader pressure.
+//
+// The analysis is deliberately "lite": it tracks lock state through
+// straight-line code, if/else, loops and switches with a three-valued state
+// (locked / maybe / unlocked) and never reports in the "maybe" state, so
+// unusual-but-correct code earns silence rather than noise. Lock helpers
+// that intentionally hand a held lock to their caller are annotated with
+// //lint:ignore mutexhygiene <reason>.
+func mutexHygieneCheck() *Check {
+	c := &Check{
+		Name: "mutexhygiene",
+		Doc:  "Lock without Unlock on every return path; blocking ops under an RWMutex write lock",
+	}
+	c.Run = func(p *Pass) {
+		for _, pkg := range p.Module.Packages {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					var body *ast.BlockStmt
+					switch fn := n.(type) {
+					case *ast.FuncDecl:
+						body = fn.Body
+					case *ast.FuncLit:
+						body = fn.Body
+					default:
+						return true
+					}
+					if body != nil {
+						a := &mutexAnalyzer{pass: p, pkg: pkg, funcBody: body}
+						a.scanList(body.List)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return c
+}
+
+// lockState is the three-valued lock tracking state.
+type lockState int
+
+const (
+	stLocked lockState = iota
+	stMaybe
+	stUnlocked
+)
+
+func mergeState(a, b lockState) lockState {
+	if a == b {
+		return a
+	}
+	return stMaybe
+}
+
+// lockRef identifies one acquisition: the receiver expression text plus
+// whether it was a read lock and whether the mutex is an RWMutex.
+type lockRef struct {
+	recv string
+	read bool // RLock (vs Lock)
+	rw   bool // receiver is a sync.RWMutex
+}
+
+type mutexAnalyzer struct {
+	pass     *Pass
+	pkg      *Package
+	funcBody *ast.BlockStmt
+}
+
+// syncLockMethod resolves call to a sync lock-family method and returns the
+// receiver text, method name and whether the receiver is an RWMutex.
+func (a *mutexAnalyzer) syncLockMethod(call *ast.CallExpr) (recv, method string, rw bool, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false, false
+	}
+	obj, isFunc := a.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFunc || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false, false
+	}
+	switch obj.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false, false
+	}
+	if s, hasSel := a.pkg.Info.Selections[sel]; hasSel {
+		rw = typeNameIs(s.Recv(), "sync", "RWMutex")
+	}
+	return types.ExprString(sel.X), obj.Name(), rw, true
+}
+
+func typeNameIs(t types.Type, pkgPath, name string) bool {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// stmtLock returns the lockRef when stmt is `recv.Lock()` or `recv.RLock()`.
+func (a *mutexAnalyzer) stmtLock(stmt ast.Stmt) (lockRef, ast.Expr, bool) {
+	es, isExpr := stmt.(*ast.ExprStmt)
+	if !isExpr {
+		return lockRef{}, nil, false
+	}
+	call, isCall := es.X.(*ast.CallExpr)
+	if !isCall {
+		return lockRef{}, nil, false
+	}
+	recv, method, rw, ok := a.syncLockMethod(call)
+	if !ok || (method != "Lock" && method != "RLock") {
+		return lockRef{}, nil, false
+	}
+	return lockRef{recv: recv, read: method == "RLock", rw: rw}, call.Fun, true
+}
+
+// isUnlockCall reports whether call releases ref (Unlock pairs with Lock,
+// RUnlock with RLock).
+func (a *mutexAnalyzer) isUnlockCall(call *ast.CallExpr, ref lockRef) bool {
+	recv, method, _, ok := a.syncLockMethod(call)
+	if !ok || recv != ref.recv {
+		return false
+	}
+	if ref.read {
+		return method == "RUnlock"
+	}
+	return method == "Unlock"
+}
+
+// stmtUnlocks reports whether stmt is an inline `recv.Unlock()`.
+func (a *mutexAnalyzer) stmtUnlocks(stmt ast.Stmt, ref lockRef) bool {
+	es, isExpr := stmt.(*ast.ExprStmt)
+	if !isExpr {
+		return false
+	}
+	call, isCall := es.X.(*ast.CallExpr)
+	return isCall && a.isUnlockCall(call, ref)
+}
+
+// stmtDefersUnlock reports whether stmt defers a release of ref, either
+// directly (`defer mu.Unlock()`) or through a function literal whose body
+// releases it.
+func (a *mutexAnalyzer) stmtDefersUnlock(stmt ast.Stmt, ref lockRef) bool {
+	ds, isDefer := stmt.(*ast.DeferStmt)
+	if !isDefer {
+		return false
+	}
+	if a.isUnlockCall(ds.Call, ref) {
+		return true
+	}
+	if lit, isLit := ds.Call.Fun.(*ast.FuncLit); isLit {
+		return a.containsUnlock(lit.Body, ref)
+	}
+	return false
+}
+
+// containsUnlock reports whether any release of ref appears under n
+// (function literals included: a deferred closure is a common release
+// site).
+func (a *mutexAnalyzer) containsUnlock(n ast.Node, ref lockRef) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, isCall := n.(*ast.CallExpr); isCall && a.isUnlockCall(call, ref) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// scanList analyzes one statement list: every Lock acquired at this level
+// is traced forward, and nested statement lists are scanned recursively.
+func (a *mutexAnalyzer) scanList(stmts []ast.Stmt) {
+	for i, stmt := range stmts {
+		if ref, at, ok := a.stmtLock(stmt); ok {
+			a.traceLock(stmts[i+1:], ref, at)
+		}
+		a.scanNested(stmt)
+	}
+}
+
+// scanNested recurses into statement lists hanging off stmt so locks taken
+// inside branches and loops are traced in their own scope.
+func (a *mutexAnalyzer) scanNested(stmt ast.Stmt) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		a.scanList(s.List)
+	case *ast.IfStmt:
+		a.scanList(s.Body.List)
+		if s.Else != nil {
+			a.scanNested(s.Else)
+		}
+	case *ast.ForStmt:
+		a.scanList(s.Body.List)
+	case *ast.RangeStmt:
+		a.scanList(s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				a.scanList(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				a.scanList(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				a.scanList(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		a.scanNested(s.Stmt)
+	}
+}
+
+// traceLock follows one acquisition through the statements after it.
+func (a *mutexAnalyzer) traceLock(rest []ast.Stmt, ref lockRef, at ast.Expr) {
+	// Deferred release at this level: the critical section runs to function
+	// exit. The only hazard left is a return squeezed between Lock and the
+	// defer installation.
+	for j, stmt := range rest {
+		if a.stmtDefersUnlock(stmt, ref) {
+			for _, between := range rest[:j] {
+				a.reportReturns(between, ref)
+			}
+			if !ref.read && ref.rw {
+				for _, between := range rest[:j] {
+					a.reportBlocking(between, ref)
+				}
+			}
+			return
+		}
+	}
+
+	// No release anywhere in the function: either the lock intentionally
+	// escapes (annotate it) or it is a leak.
+	if !a.releasedSomewhere(ref) {
+		a.pass.Reportf(at.Pos(), "%s.%s() is never released in this function (deferred or inline Unlock missing; annotate if the lock intentionally escapes)",
+			ref.recv, lockMethodName(ref))
+		return
+	}
+
+	a.walkStmts(rest, ref, stLocked)
+}
+
+func lockMethodName(ref lockRef) string {
+	if ref.read {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// releasedSomewhere reports whether any matching release exists in the
+// whole function body after... anywhere (structural, not path-sensitive).
+func (a *mutexAnalyzer) releasedSomewhere(ref lockRef) bool {
+	return a.containsUnlock(a.funcBody, ref)
+}
+
+// walkStmts runs the three-valued state machine over a statement list,
+// reporting returns reached while the lock is held, and returns the state
+// at the end of the list.
+func (a *mutexAnalyzer) walkStmts(stmts []ast.Stmt, ref lockRef, state lockState) lockState {
+	for _, stmt := range stmts {
+		state = a.walkStmt(stmt, ref, state)
+	}
+	return state
+}
+
+func (a *mutexAnalyzer) walkStmt(stmt ast.Stmt, ref lockRef, state lockState) lockState {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if a.stmtUnlocks(stmt, ref) {
+			return stUnlocked
+		}
+		if r, _, ok := a.stmtLock(stmt); ok && r.recv == ref.recv && r.read == ref.read {
+			return stLocked
+		}
+		if state == stLocked {
+			a.checkBlockingExpr(s.X, ref)
+		}
+	case *ast.DeferStmt:
+		if a.stmtDefersUnlock(stmt, ref) {
+			return stUnlocked
+		}
+	case *ast.ReturnStmt:
+		if state == stLocked {
+			a.pass.Reportf(s.Pos(), "return while %s is held by %s() with no release on this path",
+				ref.recv, lockMethodName(ref))
+		}
+	case *ast.BlockStmt:
+		return a.walkStmts(s.List, ref, state)
+	case *ast.LabeledStmt:
+		return a.walkStmt(s.Stmt, ref, state)
+	case *ast.IfStmt:
+		then := a.walkStmts(s.Body.List, ref, state)
+		els := state
+		if s.Else != nil {
+			els = a.walkStmt(s.Else, ref, state)
+		}
+		return mergeState(then, els)
+	case *ast.ForStmt:
+		return mergeState(state, a.walkStmts(s.Body.List, ref, state))
+	case *ast.RangeStmt:
+		return mergeState(state, a.walkStmts(s.Body.List, ref, state))
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		if sw, isSw := s.(*ast.SwitchStmt); isSw {
+			body = sw.Body
+		} else {
+			body = s.(*ast.TypeSwitchStmt).Body
+		}
+		out := state
+		for _, c := range body.List {
+			if cc, isCase := c.(*ast.CaseClause); isCase {
+				out = mergeState(out, a.walkStmts(cc.Body, ref, state))
+			}
+		}
+		return out
+	case *ast.SelectStmt:
+		if state == stLocked && !ref.read && ref.rw {
+			a.pass.Reportf(s.Pos(), "select while %s is write-locked (blocks all readers and writers)", ref.recv)
+		}
+		out := state
+		for _, c := range s.Body.List {
+			if cc, isComm := c.(*ast.CommClause); isComm {
+				out = mergeState(out, a.walkStmts(cc.Body, ref, state))
+			}
+		}
+		return out
+	case *ast.SendStmt:
+		if state == stLocked && !ref.read && ref.rw {
+			a.pass.Reportf(s.Pos(), "channel send while %s is write-locked (blocks all readers and writers)", ref.recv)
+		}
+	case *ast.AssignStmt:
+		if state == stLocked {
+			for _, rhs := range s.Rhs {
+				a.checkBlockingExpr(rhs, ref)
+			}
+		}
+	case *ast.GoStmt:
+		// A spawned goroutine has its own locking discipline.
+	}
+	return state
+}
+
+// reportReturns flags every return statement under stmt (function literals
+// excluded: they return from their own frame).
+func (a *mutexAnalyzer) reportReturns(stmt ast.Stmt, ref lockRef) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			a.pass.Reportf(n.Pos(), "return between %s.%s() and its deferred release",
+				ref.recv, lockMethodName(ref))
+		}
+		return true
+	})
+}
+
+// reportBlocking flags channel operations and known blocking calls under
+// stmt while an RWMutex write lock is held.
+func (a *mutexAnalyzer) reportBlocking(stmt ast.Stmt, ref lockRef) {
+	if ref.read || !ref.rw {
+		return
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			a.pass.Reportf(n.Pos(), "channel send while %s is write-locked (blocks all readers and writers)", ref.recv)
+		case *ast.UnaryExpr:
+			a.checkBlockingExpr(n, ref)
+			return false
+		case *ast.CallExpr:
+			a.checkBlockingExpr(n, ref)
+		}
+		return true
+	})
+}
+
+// checkBlockingExpr flags `<-ch`, time.Sleep and WaitGroup.Wait in e while
+// an RWMutex write lock is held.
+func (a *mutexAnalyzer) checkBlockingExpr(e ast.Expr, ref lockRef) {
+	if ref.read || !ref.rw {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		if e.Op.String() == "<-" {
+			a.pass.Reportf(e.Pos(), "channel receive while %s is write-locked (blocks all readers and writers)", ref.recv)
+		}
+	case *ast.CallExpr:
+		sel, isSel := e.Fun.(*ast.SelectorExpr)
+		if !isSel {
+			return
+		}
+		obj, isFunc := a.pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !isFunc || obj.Pkg() == nil {
+			return
+		}
+		switch {
+		case obj.Pkg().Path() == "time" && obj.Name() == "Sleep":
+			a.pass.Reportf(e.Pos(), "time.Sleep while %s is write-locked", ref.recv)
+		case obj.Pkg().Path() == "sync" && obj.Name() == "Wait":
+			a.pass.Reportf(e.Pos(), "%s while %s is write-locked", types.ExprString(e.Fun), ref.recv)
+		}
+	}
+}

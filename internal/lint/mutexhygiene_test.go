@@ -1,0 +1,172 @@
+package lint
+
+import "testing"
+
+func TestMutexHygienePositive(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"app": {"app.go": `package app
+
+import "sync"
+
+type S struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	ch  chan int
+	n   int
+}
+
+// Return squeezed between Lock and the deferred release.
+func (s *S) EarlyReturn(cond bool) {
+	s.mu.Lock()
+	if cond {
+		return
+	}
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// Locked and never released anywhere in the function.
+func (s *S) Leak() {
+	s.mu.Lock()
+	s.n++
+}
+
+// Inline release on one path, bare return on the other.
+func (s *S) MissedPath(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// Channel send while the RWMutex is write-locked starves every reader.
+func (s *S) SendUnderWriteLock(v int) {
+	s.rw.Lock()
+	s.ch <- v
+	s.rw.Unlock()
+}
+
+// Channel receive while write-locked.
+func (s *S) RecvUnderWriteLock() int {
+	s.rw.Lock()
+	v := <-s.ch
+	s.rw.Unlock()
+	return v
+}
+`},
+	})
+	diags := runNamed(t, m, DefaultConfig(), "mutexhygiene")
+	wantDiag(t, diags, "mutexhygiene", "return between s.mu.Lock() and its deferred release", 1)
+	wantDiag(t, diags, "mutexhygiene", "never released in this function", 1)
+	wantDiag(t, diags, "mutexhygiene", "return while s.mu is held", 1)
+	wantDiag(t, diags, "mutexhygiene", "channel send while s.rw is write-locked", 1)
+	wantDiag(t, diags, "mutexhygiene", "channel receive while s.rw is write-locked", 1)
+}
+
+func TestMutexHygieneNegative(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"app": {"app.go": `package app
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	n  int
+}
+
+// The canonical shape.
+func (s *S) Deferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Inline release on every path.
+func (s *S) Inline(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// Deferred closure releasing the lock counts as a release.
+func (s *S) DeferredClosure() {
+	s.mu.Lock()
+	defer func() {
+		s.n++
+		s.mu.Unlock()
+	}()
+	s.n++
+}
+
+// Read locks may overlap channel traffic: readers do not starve readers.
+func (s *S) SendUnderReadLock(v int) {
+	s.rw.RLock()
+	s.ch <- v
+	s.rw.RUnlock()
+}
+
+// A plain Mutex across a send is a throughput question, not the RW
+// write-starvation shape this check hunts.
+func (s *S) SendUnderPlainLock(v int) {
+	s.mu.Lock()
+	s.ch <- v
+	s.mu.Unlock()
+}
+
+// Unlock/relock inside a loop body: state returns to locked each pass.
+func (s *S) Batched(work []int) {
+	s.mu.Lock()
+	for range work {
+		s.mu.Unlock()
+		s.mu.Lock()
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// A goroutine spawned under the lock has its own locking discipline.
+func (s *S) Spawns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1
+	}()
+}
+`},
+	})
+	wantNone(t, runNamed(t, m, DefaultConfig(), "mutexhygiene"))
+}
+
+func TestMutexHygieneSuppression(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"app": {"app.go": `package app
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// A lock helper that hands the held lock to its caller.
+func (s *S) lockForUpdate() {
+	//lint:ignore mutexhygiene lock intentionally escapes; released by unlockAfterUpdate
+	s.mu.Lock()
+	s.n++
+}
+
+func (s *S) unlockAfterUpdate() {
+	s.mu.Unlock()
+}
+`},
+	})
+	wantNone(t, runNamed(t, m, DefaultConfig(), "mutexhygiene"))
+}

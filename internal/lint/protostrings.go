@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// protoErrTypeName is the wire-error string type the kvserver protocol
+// declares its stable SERVER_ERROR vocabulary with.
+const protoErrTypeName = "protoErr"
+
+// protoValueRE is the stable wire format: lowercase words, no control
+// characters, nothing a fuzzer or client matcher would trip over.
+var protoValueRE = regexp.MustCompile(`^[a-z][a-z0-9 -]*$`)
+
+// protoStringsCheck keeps the kvserver wire-error vocabulary closed: every
+// SERVER_ERROR payload must come from the package-level protoErr constant
+// set, so the server, its clients and the fuzz corpora keep matching the
+// exact same strings across refactors. Concretely, in Config.ProtoPkgs:
+//
+//   - protoErr("...") conversions are legal only in package-level const
+//     declarations — new wire errors cannot be minted inline;
+//   - each protoErr constant is nonempty, unique, and lowercase-stable
+//     (protoValueRE), so the wire strings survive framing and matching;
+//   - no other string literal may embed "SERVER_ERROR" except the exact
+//     "SERVER_ERROR " reply prefix — fmt.Errorf("SERVER_ERROR ...") and
+//     friends would fork the vocabulary.
+func protoStringsCheck() *Check {
+	c := &Check{
+		Name: "protostrings",
+		Doc:  "SERVER_ERROR payloads only from the declared protoErr constant set",
+	}
+	c.Run = func(p *Pass) {
+		for _, pkg := range p.PackagesMatching(p.Cfg.ProtoPkgs) {
+			checkProtoPackage(p, pkg)
+		}
+	}
+	return c
+}
+
+func checkProtoPackage(p *Pass, pkg *Package) {
+	// Resolve the package's protoErr type (absent in packages that carry no
+	// wire errors; nothing to enforce there beyond the literal scan).
+	var protoType types.Object
+	if pkg.Types != nil {
+		protoType = pkg.Types.Scope().Lookup(protoErrTypeName)
+	}
+
+	seen := map[string]token.Pos{}
+	for _, f := range pkg.Files {
+		// Package-level const blocks: validate the declared vocabulary.
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					lit, isConv := protoErrConversion(pkg, protoType, v)
+					if !isConv || lit == nil {
+						continue
+					}
+					val, err := strconv.Unquote(lit.Value)
+					if err != nil {
+						continue
+					}
+					if !protoValueRE.MatchString(val) {
+						p.Reportf(lit.Pos(), "protoErr value %q is not a stable wire string (want lowercase words matching %s)", val, protoValueRE)
+					}
+					if prev, dup := seen[val]; dup {
+						p.Reportf(lit.Pos(), "protoErr value %q already declared at %s", val, p.Module.Fset.Position(prev))
+					} else {
+						seen[val] = lit.Pos()
+					}
+				}
+			}
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				// Inside function bodies, a protoErr conversion mints a wire
+				// string outside the declared set. (Package-level const
+				// values never reach here: the decl walk above consumed
+				// them, and ast.Inspect still visits them — so skip any
+				// conversion at declaration scope.)
+				if enclosingFunc(f, n.Pos()) == "" {
+					return true
+				}
+				if _, isConv := protoErrConversion(pkg, protoType, n); isConv {
+					p.Reportf(n.Pos(), "protoErr conversion outside the package-level const block; add the string to the declared vocabulary instead")
+				}
+			case *ast.BasicLit:
+				if n.Kind != token.STRING {
+					return true
+				}
+				val, err := strconv.Unquote(n.Value)
+				if err != nil || !strings.Contains(val, "SERVER_ERROR") {
+					return true
+				}
+				if val != "SERVER_ERROR " {
+					p.Reportf(n.Pos(), "string literal %q embeds SERVER_ERROR; wire errors must use the protoErr constants (only the exact \"SERVER_ERROR \" prefix literal is allowed)", val)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// protoErrConversion reports whether e is a conversion protoErr("...") and
+// returns its string literal argument (nil when the argument is not a
+// literal).
+func protoErrConversion(pkg *Package, protoType types.Object, e ast.Expr) (*ast.BasicLit, bool) {
+	if protoType == nil {
+		return nil, false
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil, false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || pkg.Info.Uses[id] != protoType {
+		return nil, false
+	}
+	lit, _ := call.Args[0].(*ast.BasicLit)
+	return lit, true
+}

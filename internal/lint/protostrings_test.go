@@ -1,0 +1,90 @@
+package lint
+
+import "testing"
+
+func TestProtoStringsPositive(t *testing.T) {
+	cfg := Config{ProtoPkgs: []string{"kv"}}
+	m := fixture(t, map[string]map[string]string{
+		"kv": {"kv.go": `package kv
+
+import "fmt"
+
+type protoErr string
+
+func (e protoErr) Error() string { return string(e) }
+
+const (
+	errOK       = protoErr("valid wire string")
+	errShouting = protoErr("Not A Stable String")
+	errDup      = protoErr("valid wire string")
+)
+
+// Minting a wire error inline forks the vocabulary.
+func Inline(n int) error {
+	return protoErr("made up on the spot")
+}
+
+// Embedding SERVER_ERROR in an ordinary string forks it too.
+func Forked(n int) error {
+	return fmt.Errorf("SERVER_ERROR thing %d broke", n)
+}
+`},
+	})
+	diags := runNamed(t, m, cfg, "protostrings")
+	wantDiag(t, diags, "protostrings", "not a stable wire string", 1)
+	wantDiag(t, diags, "protostrings", "already declared at", 1)
+	wantDiag(t, diags, "protostrings", "conversion outside the package-level const block", 1)
+	wantDiag(t, diags, "protostrings", "embeds SERVER_ERROR", 1)
+}
+
+func TestProtoStringsNegative(t *testing.T) {
+	cfg := Config{ProtoPkgs: []string{"kv"}}
+	m := fixture(t, map[string]map[string]string{
+		"kv": {"kv.go": `package kv
+
+import "bytes"
+
+type protoErr string
+
+func (e protoErr) Error() string { return string(e) }
+
+const (
+	errEmpty   = protoErr("empty command")
+	errTooLong = protoErr("line too long")
+)
+
+// The exact reply prefix is the one permitted SERVER_ERROR literal, and
+// returning a declared constant is the intended use.
+func Reply(w *bytes.Buffer, pe protoErr) error {
+	w.WriteString("SERVER_ERROR ")
+	w.WriteString(string(pe))
+	return errEmpty
+}
+`},
+		// A protoErr conversion outside ProtoPkgs is someone else's type.
+		"other": {"other.go": `package other
+
+type protoErr string
+
+func Mint() protoErr { return protoErr("UNCHECKED HERE") }
+`},
+	})
+	wantNone(t, runNamed(t, m, cfg, "protostrings"))
+}
+
+func TestProtoStringsSuppression(t *testing.T) {
+	cfg := Config{ProtoPkgs: []string{"kv"}}
+	m := fixture(t, map[string]map[string]string{
+		"kv": {"kv.go": `package kv
+
+type protoErr string
+
+// A test helper minting a deliberately-broken error to probe the server.
+func Hostile() protoErr {
+	//lint:ignore protostrings fixture mints a hostile error on purpose
+	return protoErr("deliberately unknown")
+}
+`},
+	})
+	wantNone(t, runNamed(t, m, cfg, "protostrings"))
+}

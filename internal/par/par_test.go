@@ -3,9 +3,18 @@ package par
 import (
 	"sync/atomic"
 	"testing"
+
+	"spidercache/internal/leakcheck"
 )
 
+// checkLeaks asserts the test spawns nothing beyond the package's own
+// worker pool, whose goroutines intentionally park forever.
+func checkLeaks(t *testing.T) {
+	leakcheck.Check(t, leakcheck.IgnoreFunc("internal/par.worker"))
+}
+
 func TestForCoversRangeExactlyOnce(t *testing.T) {
+	checkLeaks(t)
 	for _, workers := range []int{1, 2, 3, 8, 33} {
 		for _, n := range []int{0, 1, 2, 7, 100, 1001} {
 			hits := make([]atomic.Int32, n)
@@ -27,6 +36,7 @@ func TestForCoversRangeExactlyOnce(t *testing.T) {
 }
 
 func TestForBlocksAreContiguousAndOrderedPerWorkerCount(t *testing.T) {
+	checkLeaks(t)
 	// Block boundaries depend only on (workers, n), never on scheduling.
 	n, workers := 103, 4
 	var blocks [][2]int
@@ -53,6 +63,7 @@ func TestForBlocksAreContiguousAndOrderedPerWorkerCount(t *testing.T) {
 }
 
 func TestNestedForDoesNotDeadlock(t *testing.T) {
+	checkLeaks(t)
 	var total atomic.Int64
 	For(4, 8, func(start, end int) {
 		for i := start; i < end; i++ {
@@ -67,6 +78,7 @@ func TestNestedForDoesNotDeadlock(t *testing.T) {
 }
 
 func TestStatsMonotonic(t *testing.T) {
+	checkLeaks(t)
 	p0, i0 := Stats()
 	For(4, 64, func(start, end int) {})
 	p1, i1 := Stats()

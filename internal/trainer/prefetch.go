@@ -105,9 +105,11 @@ func (p *prefetcher) join() *batchData {
 	case r = <-p.ch:
 		p.hit.Inc()
 	default:
+		//lint:ignore determinism stall timing is telemetry only; batch contents stay deterministic
 		start := time.Now()
 		r = <-p.ch
 		p.stall.Inc()
+		//lint:ignore determinism stall timing is telemetry only; batch contents stay deterministic
 		p.stallSec.Observe(time.Since(start).Seconds())
 	}
 	p.ch = nil

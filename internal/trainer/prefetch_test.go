@@ -8,10 +8,17 @@ import (
 
 	"spidercache/internal/dataset"
 	"spidercache/internal/experiments"
+	"spidercache/internal/leakcheck"
 	"spidercache/internal/nn"
 	"spidercache/internal/policy"
 	"spidercache/internal/trainer"
 )
+
+// checkLeaks asserts the prefetch pipeline's serving goroutine is reaped by
+// the time the test ends; the tensor kernels' par workers park by design.
+func checkLeaks(t *testing.T) {
+	leakcheck.Check(t, leakcheck.IgnoreFunc("internal/par.worker"))
+}
 
 func prefetchDataset(tb testing.TB) *dataset.Dataset {
 	tb.Helper()
@@ -49,6 +56,7 @@ func runWith(t *testing.T, cfg trainer.Config, build func() policy.Policy) *trai
 // pipeline on: identical seeds must give identical results in every field
 // (epoch stats, simulated times, accuracy trajectory).
 func TestPrefetchDeterministic(t *testing.T) {
+	checkLeaks(t)
 	cfg := prefetchConfig(t, 3, true)
 	build := func() policy.Policy {
 		pol, err := experiments.BuildPolicy("spider", experiments.PolicyParams{
@@ -71,6 +79,7 @@ func TestPrefetchDeterministic(t *testing.T) {
 // the next batch's lookups ahead of them is unobservable — the pipeline must
 // reproduce the serial loop bit for bit.
 func TestPrefetchMatchesSerialForStatelessHooks(t *testing.T) {
+	checkLeaks(t)
 	build := func() policy.Policy {
 		pol, err := policy.NewBaselineLRU(400, 80, 5)
 		if err != nil {
@@ -104,6 +113,7 @@ func (p *panicPolicy) Lookup(id int) policy.Lookup {
 // the serving goroutine must resurface on the training goroutine's stack
 // (where Run's caller can recover it), not crash the process detached.
 func TestPrefetchPanicPropagates(t *testing.T) {
+	checkLeaks(t)
 	cfg := prefetchConfig(t, 1, true)
 	inner, err := policy.NewBaselineLRU(400, 80, 5)
 	if err != nil {

@@ -12,6 +12,13 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+# Preflight: numbers from a tree that fails the verification gate are
+# numbers about a different program. SKIP_CHECK=1 skips it when iterating
+# on a single benchmark.
+if [ "${SKIP_CHECK:-0}" != "1" ]; then
+    SKIP_RACE="${SKIP_RACE:-1}" scripts/check.sh
+fi
+
 BENCHTIME="${BENCHTIME:-1x}"
 
 go test -run '^$' -bench 'BenchmarkMatMul' -benchtime "$BENCHTIME" ./internal/tensor/

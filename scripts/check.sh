@@ -1,0 +1,50 @@
+#!/bin/sh
+# One-shot verification gate: formatting, module hygiene, build, vet with an
+# explicit check list, the project's own static analysis (spiderlint), the
+# full test suite, and the race-sensitive subset under -race. Everything CI
+# (and a careful human) runs before trusting a tree, in dependency order —
+# cheap, syntactic gates first, so failures surface fast.
+#
+#   scripts/check.sh          # full gate
+#   SKIP_RACE=1 scripts/check.sh  # skip the -race subset (slowest stage)
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go mod tidy -diff"
+go mod tidy -diff
+
+echo "== go build"
+go build ./...
+
+# Explicit vet list: the default set plus the concurrency- and
+# cancellation-sensitive analyzers this codebase leans on. Spelled out so a
+# toolchain default changing under us never silently drops a check.
+echo "== go vet"
+go vet \
+    -atomic -bools -buildtag -copylocks -errorsas -loopclosure \
+    -lostcancel -nilfunc -printf -stdmethods -unreachable -unusedresult \
+    ./...
+
+echo "== spiderlint"
+go run ./cmd/spiderlint ./...
+
+echo "== go test"
+go test ./...
+
+if [ "${SKIP_RACE:-0}" != "1" ]; then
+    echo "== go test -race (concurrency-sensitive subset)"
+    go test -race \
+        ./internal/telemetry/... ./internal/kvserver/... ./internal/cache/... \
+        ./internal/hnsw/... ./internal/semgraph/... ./internal/trainer/... \
+        ./internal/par/... ./internal/leakcheck/...
+fi
+
+echo "check.sh: all gates passed"
