@@ -14,20 +14,34 @@
 //	spiderload -batch 16                     # MGET/MSET batch verbs
 //	spiderload -get 0.5 -value 8192 -zipf 0  # write-heavy, uniform keys
 //	spiderload -metrics                      # server METRICS dump at exit
+//	spiderload -fault-reset 0.01 -fault-partial 0.02
+//	                                         # robustness run: the in-process
+//	                                         # server's listener injects
+//	                                         # faults; retries absorb them
 //
 // Closed loop means every connection keeps exactly one request window in
 // flight and issues the next only after the previous reply lands, so the
 // reported throughput is what the server actually sustains at that
 // concurrency, not an open-loop arrival rate.
+//
+// With any -fault-* flag set, the in-process server's accepted connections
+// run behind internal/faultnet: resets, partial writes, read/write errors
+// and added latency hit the wire with the given per-op probabilities,
+// seed-deterministically. The client side drives a retrying connection
+// pool and re-issues failed request windows (the load is synthetic, so
+// re-sending is always safe); a run succeeds only if every window
+// eventually lands — faults are absorbed and reported, never surfaced.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sync"
 	"time"
 
+	"spidercache/internal/faultnet"
 	"spidercache/internal/kvserver"
 	"spidercache/internal/telemetry"
 	"spidercache/internal/xrand"
@@ -50,21 +64,58 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "random seed")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-connection dial/read/write timeout")
 		metrics  = flag.Bool("metrics", false, "print the server METRICS snapshot at exit")
+
+		retries       = flag.Int("retries", 8, "attempts per request window before a fault is client-visible (1 = no retries)")
+		faultReset    = flag.Float64("fault-reset", 0, "per-op probability of a connection reset (in-process server only)")
+		faultPartial  = flag.Float64("fault-partial", 0, "per-write probability of a torn partial write")
+		faultReadErr  = flag.Float64("fault-read-err", 0, "per-read probability of an injected read error")
+		faultWriteErr = flag.Float64("fault-write-err", 0, "per-write probability of an injected write error")
+		faultLatency  = flag.Duration("fault-latency", 0, "added latency per network op")
+		faultSeed     = flag.Uint64("fault-seed", 1, "seed for the deterministic fault streams")
 	)
 	flag.Parse()
 
 	if *conns < 1 || *pipeline < 1 || *keys < 1 || *ops < 1 || *valueSz < 0 ||
-		*getFrac < 0 || *getFrac > 1 || *batch < 0 {
+		*getFrac < 0 || *getFrac > 1 || *batch < 0 || *retries < 1 {
 		fmt.Fprintln(os.Stderr, "spiderload: invalid flag value")
 		os.Exit(2)
 	}
 
+	faultCfg := faultnet.Config{
+		Seed:             *faultSeed,
+		Latency:          *faultLatency,
+		PartialWriteProb: *faultPartial,
+		ReadErrProb:      *faultReadErr,
+		WriteErrProb:     *faultWriteErr,
+		ResetProb:        *faultReset,
+	}
+	faultsOn := faultCfg != (faultnet.Config{Seed: *faultSeed})
+	if faultsOn && *addr != "" {
+		fmt.Fprintln(os.Stderr, "spiderload: -fault-* flags need the in-process server (drop -addr)")
+		os.Exit(2)
+	}
+	if err := faultCfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "spiderload:", err)
+		os.Exit(2)
+	}
+
+	var faultReg *telemetry.Registry
 	target := *addr
 	if target == "" {
-		srv, err := kvserver.ServeWith("127.0.0.1:0", kvserver.Options{
-			Capacity: *capacity,
-			Shards:   *shards,
-		})
+		opts := kvserver.Options{Capacity: *capacity, Shards: *shards}
+		var srv *kvserver.Server
+		var err error
+		if faultsOn {
+			faultReg = telemetry.NewRegistry()
+			faultCfg.Registry = faultReg
+			ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+			if lerr != nil {
+				fatal(lerr)
+			}
+			srv, err = kvserver.ServeOn(faultnet.WrapListener(ln, faultCfg), opts)
+		} else {
+			srv, err = kvserver.ServeWith("127.0.0.1:0", opts)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -72,6 +123,10 @@ func main() {
 		target = srv.Addr()
 		fmt.Printf("in-process server on %s (capacity=%d shards=%d)\n",
 			target, *capacity, srv.Shards())
+		if faultsOn {
+			fmt.Printf("fault injection: reset=%.3f partial=%.3f read-err=%.3f write-err=%.3f latency=%v seed=%d\n",
+				*faultReset, *faultPartial, *faultReadErr, *faultWriteErr, *faultLatency, *faultSeed)
+		}
 	}
 
 	mode := fmt.Sprintf("pipeline=%d", *pipeline)
@@ -91,17 +146,30 @@ func main() {
 		payload[i] = byte('a' + i%26)
 	}
 
+	clientReg := telemetry.NewRegistry()
+	pool, err := kvserver.NewPool(target, kvserver.PoolOptions{
+		Size:        *conns,
+		DialOptions: dialOpts,
+		LazyDial:    true, // under faults the very first dial may be reset
+		Retry:       kvserver.RetryOptions{Attempts: *retries, Seed: *seed},
+		Name:        "load",
+		Registry:    clientReg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer pool.Close()
+
 	if *preload {
 		start := time.Now()
-		if err := preloadKeys(target, dialOpts, *keys, payload); err != nil {
+		if err := preloadKeys(pool, *retries, *keys, payload); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("preloaded %d keys in %v\n", *keys, time.Since(start).Round(time.Millisecond))
 	}
 
-	reg := telemetry.NewRegistry()
-	reg.Describe("load_rt_seconds", "client-observed round-trip latency per request window")
-	rtLat := reg.HistogramWindow("load_rt_seconds", 1<<15, nil)
+	clientReg.Describe("load_rt_seconds", "client-observed round-trip latency per request window")
+	rtLat := clientReg.HistogramWindow("load_rt_seconds", 1<<15, nil)
 
 	root := xrand.New(*seed)
 	var wg sync.WaitGroup
@@ -110,8 +178,8 @@ func main() {
 	start := time.Now()
 	for w := 0; w < *conns; w++ {
 		cfg := workerConfig{
-			addr:     target,
-			dial:     dialOpts,
+			pool:     pool,
+			attempts: *retries,
 			ops:      opsPer,
 			pipeline: *pipeline,
 			batch:    *batch,
@@ -140,6 +208,7 @@ func main() {
 		total.gets += r.gets
 		total.hits += r.hits
 		total.bytes += r.bytes
+		total.windowRetries += r.windowRetries
 	}
 	if total.err != nil {
 		fatal(total.err)
@@ -157,18 +226,58 @@ func main() {
 	fmt.Printf("round-trip latency (per request window of %d): p50=%s p95=%s p99=%s max=%s\n",
 		windowOps(*pipeline, *batch), fmtDur(snap.P50), fmtDur(snap.P95), fmtDur(snap.P99), fmtDur(snap.Max))
 
+	if faultsOn {
+		fmt.Printf("faults injected: %s\n", faultSummary(faultReg))
+		fmt.Printf("absorbed by: %d window retries, %d pool op retries; client-visible errors: 0\n",
+			total.windowRetries, poolRetries(clientReg))
+	}
+
 	if *metrics {
-		c, err := kvserver.DialWith(target, dialOpts)
-		if err != nil {
-			fatal(err)
-		}
-		defer c.Close()
-		text, err := c.Metrics()
+		var text string
+		err := retryWindow(*retries, nil, func() error {
+			return pool.Do(func(c *kvserver.Client) error {
+				t, err := c.Metrics()
+				if err == nil {
+					text = t
+				}
+				return err
+			})
+		})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(text)
 	}
+}
+
+// faultSummary renders the injected-fault counters in a fixed kind order,
+// reading through Snapshot so reporting never registers new series.
+func faultSummary(reg *telemetry.Registry) string {
+	counters := reg.Snapshot().Counters
+	out := ""
+	for _, kind := range []string{"reset", "partial_write", "read_error", "write_error", "short_read", "latency"} {
+		n := counters[fmt.Sprintf("kv_faults_injected_total{kind=%q}", kind)]
+		if n == 0 {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", kind, n)
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// poolRetries sums kv_retries_total across ops for the load pool.
+func poolRetries(reg *telemetry.Registry) int64 {
+	var n int64
+	for _, op := range []string{"get", "mget", "set", "mset", "del"} {
+		n += reg.Snapshot().Counters[fmt.Sprintf("kv_retries_total{node=%q,op=%q}", "load", op)]
+	}
+	return n
 }
 
 func windowOps(pipeline, batch int) int {
@@ -189,22 +298,38 @@ func fatal(err error) {
 
 func key(i int) string { return fmt.Sprintf("load:%08d", i) }
 
-// preloadKeys SETs every key once (MSET batches over one connection) so
-// GET traffic starts warm.
-func preloadKeys(addr string, dial kvserver.DialOptions, n int, payload []byte) error {
-	c, err := kvserver.DialWith(addr, dial)
-	if err != nil {
-		return err
+// retryWindow runs fn up to attempts times, counting re-issues into res.
+// The generator's windows are synthetic and self-contained, so re-sending
+// a failed window is always safe — this is the layer that turns injected
+// faults into retries instead of run failures.
+func retryWindow(attempts int, res *workerResult, fn func() error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 && res != nil {
+			res.windowRetries++
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
 	}
-	defer c.Close()
-	const chunk = 512
+	return err
+}
+
+// preloadKeys SETs every key once (MSET batches through the retrying
+// pool) so GET traffic starts warm. Chunks are kept small: under fault
+// injection a window's failure probability grows with the bytes it moves,
+// so a huge MSET could exhaust any fixed retry budget. The budget is also
+// widened — preload is setup, not measurement, so patience is free.
+func preloadKeys(pool *kvserver.Pool, attempts, n int, payload []byte) error {
+	const chunk = 64
 	keys := make([]string, 0, chunk)
 	values := make([][]byte, 0, chunk)
 	for i := 0; i < n; i++ {
 		keys = append(keys, key(i))
 		values = append(values, payload)
 		if len(keys) == chunk || i == n-1 {
-			if err := c.MSet(keys, values); err != nil {
+			k, v := keys, values
+			if err := retryWindow(4*attempts, nil, func() error { return pool.MSet(k, v) }); err != nil {
 				return err
 			}
 			keys, values = keys[:0], values[:0]
@@ -214,8 +339,8 @@ func preloadKeys(addr string, dial kvserver.DialOptions, n int, payload []byte) 
 }
 
 type workerConfig struct {
-	addr     string
-	dial     kvserver.DialOptions
+	pool     *kvserver.Pool
+	attempts int
 	ops      int
 	pipeline int
 	batch    int
@@ -228,32 +353,29 @@ type workerConfig struct {
 }
 
 type workerResult struct {
-	ops   int
-	gets  int
-	hits  int
-	bytes int64
-	err   error
+	ops           int
+	gets          int
+	hits          int
+	bytes         int64
+	windowRetries int
+	err           error
 }
 
-// runWorker is one closed-loop connection: it keeps issuing request
-// windows (a pipeline of GET/SETs, or one MGET/MSET batch) until its
-// operation quota is spent.
+// runWorker is one closed-loop lane: it keeps issuing request windows (a
+// pipeline of GET/SETs, or one MGET/MSET batch) through the shared pool
+// until its operation quota is spent. Each window's ops are drawn before
+// sending, so a faulted window retries with identical contents.
 func runWorker(cfg workerConfig) workerResult {
 	var res workerResult
-	c, err := kvserver.DialWith(cfg.addr, cfg.dial)
-	if err != nil {
-		res.err = err
-		return res
-	}
-	defer c.Close()
 	zipf := xrand.NewZipf(cfg.rng, cfg.zipfS, cfg.keys)
 
 	if cfg.batch > 0 {
-		runBatchLoop(c, cfg, zipf, &res)
+		runBatchLoop(cfg, zipf, &res)
 		return res
 	}
 
-	p := c.Pipeline()
+	isGet := make([]bool, cfg.pipeline)
+	keys := make([]string, cfg.pipeline)
 	for res.ops < cfg.ops {
 		window := cfg.pipeline
 		if remaining := cfg.ops - res.ops; window > remaining {
@@ -261,25 +383,45 @@ func runWorker(cfg workerConfig) workerResult {
 		}
 		sets := 0
 		for i := 0; i < window; i++ {
-			k := key(zipf.Next())
-			if cfg.rng.Float64() < cfg.getFrac {
-				p.Get(k)
-			} else {
-				p.Set(k, cfg.payload)
+			keys[i] = key(zipf.Next())
+			isGet[i] = cfg.rng.Float64() < cfg.getFrac
+			if !isGet[i] {
 				sets++
 			}
 		}
-		start := time.Now()
-		results, err := p.Exec()
-		cfg.rtLat.Observe(time.Since(start).Seconds())
+		var results []kvserver.Result
+		err := retryWindow(cfg.attempts, &res, func() error {
+			return cfg.pool.Do(func(c *kvserver.Client) error {
+				p := c.Pipeline()
+				for i := 0; i < window; i++ {
+					if isGet[i] {
+						p.Get(keys[i])
+					} else {
+						p.Set(keys[i], cfg.payload)
+					}
+				}
+				start := time.Now()
+				rs, err := p.Exec()
+				cfg.rtLat.Observe(time.Since(start).Seconds())
+				if err != nil {
+					return err
+				}
+				for _, r := range rs {
+					if r.Err != nil {
+						return r.Err
+					}
+				}
+				results = rs
+				return nil
+			})
+		})
 		if err != nil {
 			res.err = err
 			return res
 		}
 		for _, r := range results {
-			if r.Err != nil {
-				res.err = r.Err
-				return res
+			if r.Found {
+				res.hits++
 			}
 			if r.Value != nil {
 				res.bytes += int64(len(r.Value))
@@ -287,19 +429,17 @@ func runWorker(cfg workerConfig) workerResult {
 		}
 		res.ops += window
 		res.gets += window - sets
-		for _, r := range results {
-			if r.Found {
-				res.hits++
-			}
-		}
 		res.bytes += int64(sets * len(cfg.payload))
 	}
 	return res
 }
 
 // runBatchLoop drives the MGET/MSET verbs: each window is one batch
-// command whose keys are all zipf draws.
-func runBatchLoop(c *kvserver.Client, cfg workerConfig, zipf *xrand.Zipf, res *workerResult) {
+// command whose keys are all zipf draws. The pool already retries MGET
+// (idempotent) and pre-write MSET failures; the window retry on top
+// covers post-write MSET faults, which are safe to re-send here because
+// the load is synthetic.
+func runBatchLoop(cfg workerConfig, zipf *xrand.Zipf, res *workerResult) {
 	keys := make([]string, cfg.batch)
 	values := make([][]byte, cfg.batch)
 	for i := range values {
@@ -313,11 +453,18 @@ func runBatchLoop(c *kvserver.Client, cfg workerConfig, zipf *xrand.Zipf, res *w
 		for i := 0; i < window; i++ {
 			keys[i] = key(zipf.Next())
 		}
-		isGet := cfg.rng.Float64() < cfg.getFrac
-		start := time.Now()
-		if isGet {
-			got, found, err := c.MGet(keys[:window]...)
-			cfg.rtLat.Observe(time.Since(start).Seconds())
+		if cfg.rng.Float64() < cfg.getFrac {
+			var got [][]byte
+			var found []bool
+			err := retryWindow(cfg.attempts, res, func() error {
+				start := time.Now()
+				g, f, err := cfg.pool.MGet(keys[:window]...)
+				cfg.rtLat.Observe(time.Since(start).Seconds())
+				if err == nil {
+					got, found = g, f
+				}
+				return err
+			})
 			if err != nil {
 				res.err = err
 				return
@@ -330,8 +477,12 @@ func runBatchLoop(c *kvserver.Client, cfg workerConfig, zipf *xrand.Zipf, res *w
 				}
 			}
 		} else {
-			err := c.MSet(keys[:window], values[:window])
-			cfg.rtLat.Observe(time.Since(start).Seconds())
+			err := retryWindow(cfg.attempts, res, func() error {
+				start := time.Now()
+				err := cfg.pool.MSet(keys[:window], values[:window])
+				cfg.rtLat.Observe(time.Since(start).Seconds())
+				return err
+			})
 			if err != nil {
 				res.err = err
 				return

@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"spidercache/internal/kvserver"
+	"spidercache/internal/telemetry"
+)
+
+// ErrNoNodes is returned when every candidate node for a key is
+// unavailable (breaker open or transport failure on each).
+var ErrNoNodes = errors.New("cluster: no reachable node for key")
+
+// ClientOptions configures a ring-aware cluster client.
+type ClientOptions struct {
+	// PoolSize is the per-node connection pool size (default 2: the
+	// client fans out across nodes, so per-node pools stay small).
+	PoolSize int
+	// Dial applies to every pooled connection.
+	Dial kvserver.DialOptions
+	// Retry is the per-node retry policy (see kvserver.Pool). The zero
+	// value disables in-node retries; cross-node failover still applies.
+	Retry kvserver.RetryOptions
+	// Breaker is the per-node circuit breaker template; nil installs a
+	// default breaker (the failover path needs breaker state to route
+	// around dead nodes without paying a dial timeout per request).
+	Breaker *kvserver.BreakerOptions
+	// Replicas is how many distinct ring owners are candidates for each
+	// key — the failover width (default 2).
+	Replicas int
+	// RingPoints is the virtual points per node on the ring (default 128).
+	RingPoints int
+	// Registry receives telemetry from the client and its per-node pools;
+	// nil records nothing.
+	Registry *telemetry.Registry
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.PoolSize <= 0 {
+		o.PoolSize = 2
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.RingPoints <= 0 {
+		o.RingPoints = 128
+	}
+	if o.Breaker == nil {
+		o.Breaker = &kvserver.BreakerOptions{}
+	}
+	return o
+}
+
+// NodeHealth reports one node's serving state as seen by the client.
+type NodeHealth struct {
+	// Breaker is the node's circuit breaker state; BreakerClosed means
+	// the node is taking traffic normally.
+	Breaker kvserver.BreakerState
+}
+
+// clientTelemetry is the single registration site for the
+// kv_failover_total family.
+type clientTelemetry struct {
+	rerouted  *telemetry.Counter
+	exhausted *telemetry.Counter
+}
+
+func newClientTelemetry(reg *telemetry.Registry) clientTelemetry {
+	reg.Describe("kv_failover_total", "cluster ops rerouted to a replica (rerouted) or failed on every candidate (exhausted)")
+	return clientTelemetry{
+		rerouted:  reg.Counter("kv_failover_total", telemetry.Labels{"result": "rerouted"}),
+		exhausted: reg.Counter("kv_failover_total", telemetry.Labels{"result": "exhausted"}),
+	}
+}
+
+// Client is a ring-aware multi-node cache client: sample IDs map to nodes
+// via a consistent-hash Ring, each node is served by its own
+// kvserver.Pool (lazy-dialled, retrying, breaker-guarded), and operations
+// fail over along the key's replica owners when a node is down or its
+// breaker is open. It satisfies the trainer's RemoteCache contract, so a
+// training run degrades to backing storage — never errors out — when the
+// whole cluster is unreachable.
+//
+// Failing over a Set to a replica is safe even though the pool layer is
+// conservative about mutation retries: cache population is idempotent by
+// construction (a sample ID always maps to the same payload), so landing
+// the value on a secondary owner can at worst duplicate a cache entry,
+// never corrupt one.
+type Client struct {
+	ring  *Ring
+	nodes []string
+	pools map[string]*kvserver.Pool
+	opts  ClientOptions
+	tel   clientTelemetry
+}
+
+// NewClient builds a client over the given node addresses. Construction
+// never dials: pools are lazy, so a client can be built while some (or
+// all) nodes are down and traffic flows as they come up.
+func NewClient(nodes []string, opts ClientOptions) (*Client, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: NewClient needs at least one node")
+	}
+	opts = opts.withDefaults()
+	ring, err := NewRing(opts.RingPoints)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		ring:  ring,
+		pools: make(map[string]*kvserver.Pool, len(nodes)),
+		opts:  opts,
+		tel:   newClientTelemetry(opts.Registry),
+	}
+	for _, node := range nodes {
+		if _, dup := c.pools[node]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node %q", node)
+		}
+		if err := ring.Add(node); err != nil {
+			return nil, err
+		}
+		breaker := *opts.Breaker // each node gets its own breaker instance
+		pool, err := kvserver.NewPool(node, kvserver.PoolOptions{
+			Size:        opts.PoolSize,
+			DialOptions: opts.Dial,
+			LazyDial:    true,
+			Retry:       opts.Retry,
+			Breaker:     &breaker,
+			Name:        node,
+			Registry:    opts.Registry,
+		})
+		if err != nil {
+			return nil, err // unreachable with LazyDial, kept for safety
+		}
+		c.pools[node] = pool
+		c.nodes = append(c.nodes, node)
+	}
+	return c, nil
+}
+
+// Ring exposes the placement ring (for tests and topology inspection).
+func (c *Client) Ring() *Ring { return c.ring }
+
+// candidates returns the pools owning id, in placement order.
+func (c *Client) candidates(id int) []*kvserver.Pool {
+	owners := c.ring.Owners(id, c.opts.Replicas)
+	pools := make([]*kvserver.Pool, 0, len(owners))
+	for _, node := range owners {
+		pools = append(pools, c.pools[node])
+	}
+	return pools
+}
+
+// Get fetches the cached payload for a sample ID, trying each replica
+// owner in placement order. A node with an open breaker is skipped
+// without touching the network. found=false with a nil error means every
+// reachable owner answered and none had the value — a clean miss. An
+// error means no owner could be reached at all.
+func (c *Client) Get(id int) (value []byte, found bool, err error) {
+	var lastErr error
+	reachable, failedBefore := false, false
+	for _, pool := range c.candidates(id) {
+		v, ok, err := pool.Get(key(id))
+		if err == nil {
+			if failedBefore {
+				c.tel.rerouted.Inc()
+				failedBefore = false // count one reroute per op
+			}
+			if ok {
+				return v, true, nil
+			}
+			reachable = true
+			continue // clean miss here; a replica may still have it
+		}
+		lastErr = err
+		failedBefore = true
+	}
+	if reachable {
+		return nil, false, nil
+	}
+	c.tel.exhausted.Inc()
+	if lastErr == nil {
+		lastErr = ErrNoNodes
+	}
+	return nil, false, fmt.Errorf("%w: %w", ErrNoNodes, lastErr)
+}
+
+// Set stores the payload for a sample ID on the first reachable replica
+// owner. See the Client doc for why rerouting a cache Set is safe.
+func (c *Client) Set(id int, payload []byte) error {
+	var lastErr error
+	for i, pool := range c.candidates(id) {
+		err := pool.Set(key(id), payload)
+		if err == nil {
+			if i > 0 {
+				c.tel.rerouted.Inc()
+			}
+			return nil
+		}
+		lastErr = err
+	}
+	c.tel.exhausted.Inc()
+	if lastErr == nil {
+		lastErr = ErrNoNodes
+	}
+	return fmt.Errorf("%w: %w", ErrNoNodes, lastErr)
+}
+
+// Health reports each node's breaker state.
+func (c *Client) Health() map[string]NodeHealth {
+	out := make(map[string]NodeHealth, len(c.nodes))
+	for _, node := range c.nodes {
+		out[node] = NodeHealth{Breaker: c.pools[node].Breaker().State()}
+	}
+	return out
+}
+
+// Close shuts every per-node pool. Safe to call once.
+func (c *Client) Close() error {
+	var first error
+	for _, node := range c.nodes {
+		if err := c.pools[node].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

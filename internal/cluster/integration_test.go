@@ -1,0 +1,105 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"spidercache/internal/cluster"
+	"spidercache/internal/dataset"
+	"spidercache/internal/kvserver"
+	"spidercache/internal/nn"
+	"spidercache/internal/policy"
+	"spidercache/internal/telemetry"
+	"spidercache/internal/trainer"
+)
+
+// Client satisfies the trainer's remote cache contract.
+var _ trainer.RemoteCache = (*cluster.Client)(nil)
+
+func startNode(t *testing.T) *kvserver.Server {
+	t.Helper()
+	srv, err := kvserver.Serve("127.0.0.1:0", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		//lint:ignore errcheck test cleanup
+		srv.Close()
+	})
+	return srv
+}
+
+func trainOnce(t *testing.T, rc trainer.RemoteCache, reg *telemetry.Registry) {
+	t.Helper()
+	ds, err := dataset.New(dataset.Config{
+		Name: "tiny", Classes: 4, TrainSize: 200, TestSize: 100, Dim: 8,
+		ClusterStd: 0.8, BoundaryFrac: 0.1, IsolatedFrac: 0.02, HardFrac: 0.05,
+		PayloadMean: 4096, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := policy.NewBaselineLRU(ds.Len(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trainer.Config{
+		Dataset: ds, Model: nn.ResNet18, Epochs: 2, BatchSize: 64,
+		Workers: 1, PipelineIS: true, Seed: 7,
+		RemoteCache: rc, Metrics: reg,
+	}
+	if _, err := trainer.Run(cfg, pol); err != nil {
+		t.Fatalf("training run failed: %v", err)
+	}
+}
+
+// TestTrainerThroughCluster runs a real training loop with the ring client
+// as its remote cache tier: epoch 1 populates the kvserver nodes, epoch 2
+// hits them.
+func TestTrainerThroughCluster(t *testing.T) {
+	a, b := startNode(t), startNode(t)
+	reg := telemetry.NewRegistry()
+	c, err := cluster.NewClient([]string{a.Addr(), b.Addr()}, cluster.ClientOptions{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	trainOnce(t, c, reg)
+	if hits := reg.Counter("remote_cache_total", telemetry.Labels{"result": "hit"}).Value(); hits == 0 {
+		t.Fatal("remote_cache_total{result=hit} = 0 after a warm epoch")
+	}
+	itemsA, _, _ := a.Stats()
+	itemsB, _, _ := b.Stats()
+	if itemsA == 0 || itemsB == 0 {
+		t.Fatalf("training payloads did not spread: node items %d/%d", itemsA, itemsB)
+	}
+}
+
+// TestTrainerDegradesWithClusterDown: with every node unreachable the run
+// must complete from backing storage, counting errors instead of raising
+// them.
+func TestTrainerDegradesWithClusterDown(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c, err := cluster.NewClient([]string{"127.0.0.1:1", "127.0.0.1:2"}, cluster.ClientOptions{
+		Dial: kvserver.DialOptions{DialTimeout: 100 * time.Millisecond},
+		Breaker: &kvserver.BreakerOptions{
+			Window: 8, FailureThreshold: 0.5, MinSamples: 2, OpenFor: time.Minute,
+		},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	trainOnce(t, c, reg)
+	if errs := reg.Counter("remote_cache_total", telemetry.Labels{"result": "error"}).Value(); errs == 0 {
+		t.Fatal("remote_cache_total{result=error} = 0 with the cluster down")
+	}
+	for node, h := range c.Health() {
+		if h.Breaker != kvserver.BreakerOpen {
+			t.Fatalf("unreachable node %s breaker = %v, want open", node, h.Breaker)
+		}
+	}
+}

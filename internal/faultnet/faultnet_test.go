@@ -1,0 +1,162 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"spidercache/internal/telemetry"
+)
+
+// pipePair returns a wrapped client end and the raw server end of an
+// in-memory duplex connection, with the server end pumped by echo so writes
+// never block.
+func pipePair(t *testing.T, cfg Config) (*Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return Wrap(a, cfg), b
+}
+
+func TestWriteErrorInjected(t *testing.T) {
+	c, _ := pipePair(t, Config{Seed: 1, WriteErrProb: 1})
+	n, err := c.Write([]byte("hello"))
+	if n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write = (%d, %v), want (0, ErrInjected)", n, err)
+	}
+}
+
+func TestReadErrorInjected(t *testing.T) {
+	c, _ := pipePair(t, Config{Seed: 1, ReadErrProb: 1})
+	n, err := c.Read(make([]byte, 8))
+	if n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Read = (%d, %v), want (0, ErrInjected)", n, err)
+	}
+}
+
+func TestPartialWriteDeliversPrefix(t *testing.T) {
+	c, peer := pipePair(t, Config{Seed: 7, PartialWriteProb: 1})
+	msg := []byte("0123456789")
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, len(msg))
+		n, _ := peer.Read(buf)
+		got <- buf[:n]
+	}()
+	n, err := c.Write(msg)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial write err = %v, want ErrInjected", err)
+	}
+	if n <= 0 || n >= len(msg) {
+		t.Fatalf("partial write n = %d, want a proper prefix of %d", n, len(msg))
+	}
+	prefix := <-got
+	if string(prefix) != string(msg[:n]) {
+		t.Fatalf("wire saw %q, want prefix %q", prefix, msg[:n])
+	}
+}
+
+func TestResetClosesUnderlyingConn(t *testing.T) {
+	c, _ := pipePair(t, Config{Seed: 3, ResetProb: 1})
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("reset write err = %v, want ErrInjected", err)
+	}
+	// The underlying conn is closed: a fault-free op now fails too.
+	c.cfg = Config{}
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write after injected reset succeeded; conn was not closed")
+	}
+}
+
+func TestShortReadTruncatesWithoutError(t *testing.T) {
+	c, peer := pipePair(t, Config{Seed: 5, ShortReadProb: 1})
+	go func() {
+		peer.Write([]byte("0123456789"))
+	}()
+	buf := make([]byte, 10)
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatalf("short read err = %v, want nil", err)
+	}
+	if n <= 0 || n >= len(buf) {
+		t.Fatalf("short read n = %d, want 0 < n < %d", n, len(buf))
+	}
+}
+
+// TestDeterministicStream: the same seed and op sequence injects the same
+// faults, byte for byte.
+func TestDeterministicStream(t *testing.T) {
+	run := func() []string {
+		c, peer := pipePair(t, Config{Seed: 42, PartialWriteProb: 0.5, WriteErrProb: 0.2})
+		go func() {
+			io.Copy(io.Discard, peer)
+		}()
+		var trace []string
+		for i := 0; i < 64; i++ {
+			n, err := c.Write([]byte("payload-payload-payload"))
+			s := "ok"
+			if err != nil {
+				s = err.Error()
+			}
+			trace = append(trace, s+":"+string(rune('0'+n%10)))
+		}
+		return trace
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d diverged: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestListenerWrapsAcceptedConns(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(raw, Config{Seed: 9, WriteErrProb: 1, Registry: reg})
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		_, werr := conn.Write([]byte("hi"))
+		done <- werr
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if werr := <-done; !errors.Is(werr, ErrInjected) {
+		t.Fatalf("accepted conn write err = %v, want ErrInjected", werr)
+	}
+	if !strings.Contains(reg.Prometheus(), `kv_faults_injected_total{kind="write_error"} 1`) {
+		t.Fatalf("fault counter not recorded:\n%s", reg.Prometheus())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{ResetProb: 1.5}).Validate(); err == nil {
+		t.Fatal("out-of-range probability accepted")
+	}
+	if err := (Config{Latency: -time.Second}).Validate(); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+}

@@ -1,0 +1,115 @@
+package faultnet_test
+
+import (
+	"bytes"
+	"net"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spidercache/internal/faultnet"
+	"spidercache/internal/kvserver"
+)
+
+// fuzzCase numbers fuzz executions so each case works on a fresh key: the
+// kvserver instance is shared across cases, and a stale value from an
+// earlier case must not masquerade as a torn write.
+var fuzzCase atomic.Int64
+
+// FuzzClientFraming drives the kvserver request/reply protocol through a
+// fault-injecting connection and asserts the one invariant that matters:
+// faults may surface as errors, but a call that returns err == nil must
+// have an exactly correct result. A partial write or short read must never
+// silently corrupt a reply.
+//
+// The fuzzer varies the fault seed, the per-op fault probabilities, and
+// the key/value payload, so the corpus explores different interleavings of
+// injected faults against protocol state.
+func FuzzClientFraming(f *testing.F) {
+	srv, err := kvserver.ServeWith("127.0.0.1:0", kvserver.Options{Shards: 4, Capacity: 1 << 20})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() {
+		//lint:ignore errcheck test cleanup
+		srv.Close()
+	})
+
+	f.Add(uint64(1), uint16(200), uint16(500), []byte("k0"), []byte("hello"))
+	f.Add(uint64(7), uint16(0), uint16(0), []byte("key-long-name"), bytes.Repeat([]byte{0xAB}, 4096))
+	f.Add(uint64(42), uint16(1000), uint16(1000), []byte("x"), []byte{})
+	f.Add(uint64(9999), uint16(50), uint16(50), []byte("abc"), bytes.Repeat([]byte("v"), 257))
+
+	f.Fuzz(func(t *testing.T, seed uint64, shortMil uint16, partialMil uint16, key []byte, value []byte) {
+		// Clamp probabilities to [0, 0.5] so some ops usually get through.
+		shortP := float64(shortMil%1000) / 2000
+		partialP := float64(partialMil%1000) / 2000
+
+		raw, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := faultnet.Config{
+			Seed:             seed,
+			ShortReadProb:    shortP,
+			PartialWriteProb: partialP,
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		fc := faultnet.Wrap(raw, cfg)
+		// ReadTimeout keeps a desynced framing bug from hanging the fuzzer
+		// instead of failing it.
+		c := kvserver.NewClient(fc, kvserver.DialOptions{
+			ReadTimeout:  500 * time.Millisecond,
+			WriteTimeout: 500 * time.Millisecond,
+		})
+		defer c.Close()
+
+		k := sanitizeKey(key) + "-" + strconv.FormatInt(fuzzCase.Add(1), 10)
+		wrote := false
+		for i := 0; i < 8; i++ {
+			if i%2 == 0 {
+				if err := c.Set(k, value); err == nil {
+					wrote = true
+				}
+				continue
+			}
+			got, found, err := c.Get(k)
+			if err != nil {
+				continue // fault surfaced as an error: allowed
+			}
+			if wrote {
+				if !found {
+					t.Fatalf("Get after successful Set: not found (seed=%d)", seed)
+				}
+				if !bytes.Equal(got, value) {
+					t.Fatalf("Get returned corrupt value: got %d bytes, want %d (seed=%d)", len(got), len(value), seed)
+				}
+			} else if found && !bytes.Equal(got, value) {
+				// A Set that errored may or may not have landed, but if a
+				// value exists it must be the exact payload — never a
+				// torn/corrupt one.
+				t.Fatalf("Get returned torn value after failed Set (seed=%d)", seed)
+			}
+		}
+	})
+}
+
+// sanitizeKey maps arbitrary fuzz bytes onto the protocol's key alphabet
+// (non-empty, no spaces/control chars) so validation rejections don't
+// drown out framing coverage.
+func sanitizeKey(b []byte) string {
+	if len(b) == 0 {
+		return "k"
+	}
+	if len(b) > 64 {
+		b = b[:64]
+	}
+	out := make([]byte, len(b))
+	for i, c := range b {
+		out[i] = 'a' + c%26
+	}
+	return string(out)
+}

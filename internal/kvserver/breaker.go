@@ -1,0 +1,219 @@
+package kvserver
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's three-state machine.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow; outcomes feed the sliding window.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the open interval elapsed; a limited number of probe
+	// requests test the node. Success closes the breaker, failure reopens.
+	BreakerHalfOpen
+	// BreakerOpen: the failure rate tripped the threshold; requests fail
+	// fast without touching the node until OpenFor elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerOptions tunes a Breaker. The zero value is usable: every field
+// falls back to the documented default.
+type BreakerOptions struct {
+	// Window is the sliding window of recorded outcomes (default 32).
+	Window int
+	// FailureThreshold opens the breaker when the window's failure rate
+	// reaches it, once MinSamples outcomes are recorded (default 0.5).
+	FailureThreshold float64
+	// MinSamples is the minimum recorded outcomes before the threshold is
+	// evaluated, so one early failure cannot trip an idle node (default 8).
+	MinSamples int
+	// OpenFor is how long the breaker stays open before allowing a
+	// half-open probe (default 500ms).
+	OpenFor time.Duration
+	// HalfOpenSuccesses is the consecutive probe successes required to close
+	// from half-open (default 1).
+	HalfOpenSuccesses int
+	// Now supplies monotonic time, for deterministic tests (e.g. a
+	// simclock.Clock's Now method). Nil means wall time measured from the
+	// breaker's creation.
+	Now func() time.Duration
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.Window <= 0 {
+		o.Window = 32
+	}
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 0.5
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 8
+	}
+	if o.OpenFor <= 0 {
+		o.OpenFor = 500 * time.Millisecond
+	}
+	if o.HalfOpenSuccesses <= 0 {
+		o.HalfOpenSuccesses = 1
+	}
+	return o
+}
+
+// Breaker is a per-node circuit breaker: a sliding window of op outcomes
+// drives closed -> open -> half-open -> closed transitions. It is safe for
+// concurrent use.
+//
+// Callers ask Allow before an op and Record the outcome after; an op denied
+// by Allow must not be sent (and must not be recorded).
+type Breaker struct {
+	opts BreakerOptions
+
+	mu       sync.Mutex
+	state    BreakerState
+	window   []bool // ring of outcomes; true = failure
+	next     int
+	n        int
+	fails    int
+	openedAt time.Duration // Now() at the open transition
+	probes   int           // in-flight half-open probes
+	probeOK  int           // consecutive half-open successes
+	start    time.Time     // wall-clock epoch for the default Now
+}
+
+// NewBreaker builds a breaker from opts (zero value = defaults).
+func NewBreaker(opts BreakerOptions) *Breaker {
+	b := &Breaker{opts: opts.withDefaults(), start: time.Now()}
+	b.window = make([]bool, b.opts.Window)
+	return b
+}
+
+// now reads the injected or wall clock.
+func (b *Breaker) now() time.Duration {
+	if b.opts.Now != nil {
+		return b.opts.Now()
+	}
+	return time.Since(b.start)
+}
+
+// State reports the current state (transitioning open -> half-open if the
+// open interval has elapsed, so observers see the same state Allow would).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	return b.state
+}
+
+// Allow reports whether a request may proceed. In half-open state only
+// HalfOpenSuccesses probes may be in flight at once; excess requests fail
+// fast like open.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		b.maybeHalfOpen()
+		if b.state != BreakerHalfOpen {
+			return false
+		}
+		fallthrough
+	case BreakerHalfOpen:
+		if b.probes >= b.opts.HalfOpenSuccesses {
+			return false
+		}
+		b.probes++
+		return true
+	default:
+		return false
+	}
+}
+
+// maybeHalfOpen transitions open -> half-open once OpenFor has elapsed.
+// Caller holds b.mu.
+func (b *Breaker) maybeHalfOpen() {
+	if b.state == BreakerOpen && b.now()-b.openedAt >= b.opts.OpenFor {
+		b.state = BreakerHalfOpen
+		b.probes = 0
+		b.probeOK = 0
+	}
+}
+
+// Record feeds one op outcome back. In closed state it updates the sliding
+// window and trips to open past the failure threshold; in half-open state a
+// success counts toward closing and a failure reopens immediately.
+func (b *Breaker) Record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.push(!success)
+		if b.n >= b.opts.MinSamples &&
+			float64(b.fails)/float64(b.n) >= b.opts.FailureThreshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if !success {
+			b.trip()
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.opts.HalfOpenSuccesses {
+			b.state = BreakerClosed
+			b.resetWindow()
+		}
+	case BreakerOpen:
+		// A straggler from before the trip; the window is already moot.
+	}
+}
+
+// push records one outcome into the ring. Caller holds b.mu.
+func (b *Breaker) push(fail bool) {
+	if b.n == len(b.window) {
+		if b.window[b.next] {
+			b.fails--
+		}
+	} else {
+		b.n++
+	}
+	b.window[b.next] = fail
+	if fail {
+		b.fails++
+	}
+	b.next = (b.next + 1) % len(b.window)
+}
+
+// trip moves to open and stamps the open time. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.probes = 0
+	b.probeOK = 0
+}
+
+// resetWindow clears the outcome ring after closing. Caller holds b.mu.
+func (b *Breaker) resetWindow() {
+	b.next, b.n, b.fails = 0, 0, 0
+	for i := range b.window {
+		b.window[i] = false
+	}
+}

@@ -1,0 +1,153 @@
+package kvserver
+
+import (
+	"testing"
+	"time"
+
+	"spidercache/internal/simclock"
+)
+
+// newTestBreaker returns a breaker on a deterministic simclock with small,
+// test-friendly thresholds.
+func newTestBreaker(clock *simclock.Clock) *Breaker {
+	return NewBreaker(BreakerOptions{
+		Window:            8,
+		FailureThreshold:  0.5,
+		MinSamples:        4,
+		OpenFor:           100 * time.Millisecond,
+		HalfOpenSuccesses: 2,
+		Now:               clock.Now,
+	})
+}
+
+func TestBreakerFullCycle(t *testing.T) {
+	clock := &simclock.Clock{}
+	b := newTestBreaker(clock)
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state = %v, want closed", b.State())
+	}
+
+	// Closed -> open: 4 failures put the window at 100% failure rate with
+	// MinSamples reached.
+	for i := 0; i < 4; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker denied request %d", i)
+		}
+		b.Record(false)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 4 failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request before OpenFor elapsed")
+	}
+
+	// Open -> half-open: once OpenFor elapses, probes flow — but only
+	// HalfOpenSuccesses of them concurrently.
+	clock.Advance(100 * time.Millisecond)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after OpenFor = %v, want half-open", b.State())
+	}
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open breaker denied its probe quota")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker allowed a third concurrent probe (quota 2)")
+	}
+
+	// Half-open -> closed: both probes succeed.
+	b.Record(true)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after 1/2 probe successes = %v, want half-open", b.State())
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2/2 probe successes = %v, want closed", b.State())
+	}
+
+	// The window was reset on close: a single failure must not re-trip.
+	if !b.Allow() {
+		t.Fatal("re-closed breaker denied a request")
+	}
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("one failure after close re-tripped: %v", b.State())
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clock := &simclock.Clock{}
+	b := newTestBreaker(clock)
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	clock.Advance(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("half-open breaker denied the probe")
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	// The reopen restarts the OpenFor interval from the failure.
+	clock.Advance(99 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("reopened breaker allowed a request before the new OpenFor elapsed")
+	}
+	clock.Advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("reopened breaker denied the probe after the new OpenFor elapsed")
+	}
+}
+
+func TestBreakerMinSamplesGuard(t *testing.T) {
+	clock := &simclock.Clock{}
+	b := newTestBreaker(clock)
+	// 3 failures < MinSamples=4: must stay closed even at 100% failure.
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("breaker tripped below MinSamples: %v", b.State())
+	}
+}
+
+func TestBreakerSlidingWindowEvictsOldFailures(t *testing.T) {
+	clock := &simclock.Clock{}
+	b := newTestBreaker(clock) // window 8, threshold 0.5
+	// One early failure followed by a full window of successes: the failure
+	// rate stays below threshold at every step, then the old failure is
+	// evicted entirely.
+	b.Record(false)
+	for i := 0; i < 8; i++ {
+		b.Record(true)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("diluted window tripped the breaker: %v", b.State())
+	}
+	// Failure rate is now 0/8; 3 fresh failures put it at 3/8 < 0.5.
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("sub-threshold rate tripped the breaker: %v", b.State())
+	}
+	// One more failure makes 4/8 = 0.5 >= threshold.
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("at-threshold rate did not trip the breaker: %v", b.State())
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for state, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerHalfOpen: "half-open",
+		BreakerOpen:     "open",
+	} {
+		if got := state.String(); got != want {
+			t.Fatalf("BreakerState(%d).String() = %q, want %q", state, got, want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package kvserver
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -22,11 +23,31 @@ type DialOptions struct {
 	WriteTimeout time.Duration
 }
 
+// errBadRequest tags client-side validation failures (invalid key,
+// mismatched MSet arity): the request never formed, so retrying it
+// verbatim can only fail the same way.
+var errBadRequest = errors.New("kvserver: bad request")
+
+// countingConn counts the bytes actually handed to the socket, so the pool
+// can prove a failed mutation never reached the wire (and is therefore
+// safe to retry). Client is single-goroutine, so a plain counter suffices;
+// cross-goroutine handoff through the pool's channel orders the accesses.
+type countingConn struct {
+	net.Conn
+	n int64
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // Client is a connection to a kvserver. It is not safe for concurrent use;
 // open one client per goroutine (the server handles each connection
 // independently), or share connections through a Pool.
 type Client struct {
-	conn net.Conn
+	conn *countingConn
 	r    *bufio.Reader
 	w    *bufio.Writer
 	opts DialOptions
@@ -43,13 +64,26 @@ func DialWith(addr string, opts DialOptions) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
-		conn: conn,
-		r:    bufio.NewReaderSize(conn, connBufSize),
-		w:    bufio.NewWriterSize(conn, connBufSize),
-		opts: opts,
-	}, nil
+	return NewClient(conn, opts), nil
 }
+
+// NewClient wraps an already-established connection — a net.Pipe end, a
+// faultnet-wrapped conn, a TLS session — in a Client. The Client owns conn
+// and closes it on Close.
+func NewClient(conn net.Conn, opts DialOptions) *Client {
+	cc := &countingConn{Conn: conn}
+	return &Client{
+		conn: cc,
+		r:    bufio.NewReaderSize(cc, connBufSize),
+		w:    bufio.NewWriterSize(cc, connBufSize),
+		opts: opts,
+	}
+}
+
+// wroteBytes reports the cumulative bytes delivered to the socket; the
+// pool diffs marks around an op to classify failures as pre- or
+// post-write.
+func (c *Client) wroteBytes() int64 { return c.conn.n }
 
 // Close sends QUIT and closes the connection.
 func (c *Client) Close() error {
@@ -116,7 +150,7 @@ func (c *Client) readTrailingCRLF() error {
 // validKey rejects keys the wire protocol cannot carry.
 func validKey(key string) error {
 	if key == "" || len(key) > MaxKeyLen || strings.ContainsAny(key, " \r\n") {
-		return fmt.Errorf("kvserver: invalid key %q", key)
+		return fmt.Errorf("%w: invalid key %q", errBadRequest, key)
 	}
 	return nil
 }
@@ -260,7 +294,7 @@ func (c *Client) MGet(keys ...string) (values [][]byte, found []bool, err error)
 // into multiple MSET commands (still one flush).
 func (c *Client) MSet(keys []string, values [][]byte) error {
 	if len(keys) != len(values) {
-		return fmt.Errorf("kvserver: MSet got %d keys, %d values", len(keys), len(values))
+		return fmt.Errorf("%w: MSet got %d keys, %d values", errBadRequest, len(keys), len(values))
 	}
 	if len(keys) == 0 {
 		return nil

@@ -4,7 +4,54 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"spidercache/internal/telemetry"
+	"spidercache/internal/xrand"
 )
+
+// ErrPoolClosed is returned by pool operations after Close. It fails fast:
+// an Acquire blocked on a busy pool is woken, never left hanging.
+var ErrPoolClosed = errors.New("kvserver: pool is closed")
+
+// ErrBreakerOpen is returned without touching the network when the pool's
+// circuit breaker is open (or half-open with its probe quota in flight).
+// Callers holding alternatives (cluster failover, backing storage) should
+// route around the node rather than retry.
+var ErrBreakerOpen = errors.New("kvserver: circuit breaker open")
+
+// RetryOptions tunes the pool's retry layer. The zero value disables
+// retries, preserving the historical single-attempt behaviour.
+type RetryOptions struct {
+	// Attempts is the total tries for idempotent ops (Get/MGet); 1 or 0
+	// means a single attempt. Mutations (Set/MSet/Del) never use the full
+	// budget: they retry at most once, and only when the failure was
+	// provably pre-write (see Pool docs).
+	Attempts int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it (default 2ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 100ms).
+	MaxBackoff time.Duration
+	// JitterFrac randomises each backoff by ±JitterFrac of itself, in
+	// [0,1) (default 0.2), so synchronised clients do not retry in lockstep.
+	JitterFrac float64
+	// Seed drives the deterministic jitter stream.
+	Seed uint64
+}
+
+func (o RetryOptions) withDefaults() RetryOptions {
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 2 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 100 * time.Millisecond
+	}
+	if o.JitterFrac < 0 || o.JitterFrac >= 1 {
+		o.JitterFrac = 0.2
+	}
+	return o
+}
 
 // PoolOptions configures a connection pool.
 type PoolOptions struct {
@@ -13,6 +60,40 @@ type PoolOptions struct {
 	// DialOptions apply to every pooled connection (dial/read/write
 	// deadlines).
 	DialOptions
+	// LazyDial skips the up-front dials: every slot starts marked for
+	// redial, so NewPool succeeds even while the node is down and the first
+	// Acquire of each slot pays the dial. This is the right mode for
+	// failover clients that must construct against unreachable nodes.
+	LazyDial bool
+	// Retry enables retry with exponential backoff + jitter on the
+	// convenience ops. Zero value = single attempt.
+	Retry RetryOptions
+	// Breaker enables a per-node circuit breaker; nil disables it.
+	Breaker *BreakerOptions
+	// Name labels this pool's telemetry series (kv_retries_total,
+	// kv_breaker_state); empty means the dial address.
+	Name string
+	// Registry receives the pool's telemetry; nil records nothing.
+	Registry *telemetry.Registry
+}
+
+// poolTelemetry groups the pool's instruments, resolved once at NewPool.
+// This is the single registration site for the kv_retries_total and
+// kv_breaker_state families.
+type poolTelemetry struct {
+	retries      map[string]*telemetry.Counter // by op
+	breakerState *telemetry.Gauge
+}
+
+func newPoolTelemetry(reg *telemetry.Registry, node string) poolTelemetry {
+	reg.Describe("kv_retries_total", "pool op retries by op and node")
+	reg.Describe("kv_breaker_state", "per-node circuit breaker state (0=closed 1=half-open 2=open)")
+	tel := poolTelemetry{retries: make(map[string]*telemetry.Counter, 5)}
+	for _, op := range []string{"get", "mget", "set", "mset", "del"} {
+		tel.retries[op] = reg.Counter("kv_retries_total", telemetry.Labels{"op": op, "node": node})
+	}
+	tel.breakerState = reg.Gauge("kv_breaker_state", telemetry.Labels{"node": node})
+	return tel
 }
 
 // Pool is a fixed-size pool of client connections, safe for concurrent
@@ -20,25 +101,74 @@ type PoolOptions struct {
 // and Release it. Convenience wrappers (Get/Set/Del/MGet/MSet/Do) do the
 // acquire/release dance and retire broken connections, redialling lazily
 // so one failed op doesn't shrink the pool.
+//
+// # Retry semantics
+//
+// With PoolOptions.Retry configured, the idempotent reads Get and MGet are
+// retried up to Retry.Attempts times with exponential backoff + jitter,
+// acquiring a fresh connection each time (the failed one is discarded).
+// The mutations Set, MSet and Del retry at most ONCE, and only when the
+// failure is provably pre-write: not a single byte of the request reached
+// the socket (tracked per connection), so the server cannot have executed
+// or partially received it. Any failure after bytes hit the wire is
+// reported to the caller, because a blind re-send could double-apply the
+// mutation. Do never retries: the pool cannot know what the closure sent.
+//
+// # Circuit breaker
+//
+// With PoolOptions.Breaker set, transport-level failures feed a per-node
+// breaker; while it is open every op fails fast with ErrBreakerOpen and no
+// connection is touched, giving the node time to recover and callers an
+// immediate signal to fail over. Protocol-level errors (the node answered,
+// just not what we expected) do not count against the breaker.
 type Pool struct {
 	addr  string
 	opts  PoolOptions
 	conns chan *Client // nil entry = slot needs a redial
+	done  chan struct{}
 
 	mu     sync.Mutex
 	closed bool
+
+	retry   RetryOptions
+	breaker *Breaker
+	tel     poolTelemetry
+
+	rngMu sync.Mutex
+	rng   *xrand.Rand
 }
 
 // NewPool dials opts.Size connections to addr up front, failing fast if
-// the server is unreachable.
+// the server is unreachable — or, with opts.LazyDial, marks every slot for
+// on-demand dialing and never fails.
 func NewPool(addr string, opts PoolOptions) (*Pool, error) {
 	if opts.Size <= 0 {
 		opts.Size = 4
 	}
-	p := &Pool{addr: addr, opts: opts, conns: make(chan *Client, opts.Size)}
+	name := opts.Name
+	if name == "" {
+		name = addr
+	}
+	p := &Pool{
+		addr:  addr,
+		opts:  opts,
+		conns: make(chan *Client, opts.Size),
+		done:  make(chan struct{}),
+		retry: opts.Retry.withDefaults(),
+		tel:   newPoolTelemetry(opts.Registry, name),
+		rng:   xrand.New(opts.Retry.Seed),
+	}
+	if opts.Breaker != nil {
+		p.breaker = NewBreaker(*opts.Breaker)
+	}
 	for i := 0; i < opts.Size; i++ {
+		if opts.LazyDial {
+			p.conns <- nil
+			continue
+		}
 		c, err := DialWith(addr, opts.DialOptions)
 		if err != nil {
+			//lint:ignore errcheck the dial error is what the caller sees; Close here cannot fail usefully
 			p.Close()
 			return nil, fmt.Errorf("kvserver: pool dial %d/%d: %w", i+1, opts.Size, err)
 		}
@@ -50,73 +180,209 @@ func NewPool(addr string, opts PoolOptions) (*Pool, error) {
 // Size reports the pool's fixed connection count.
 func (p *Pool) Size() int { return p.opts.Size }
 
+// Breaker returns the pool's circuit breaker, or nil when disabled.
+func (p *Pool) Breaker() *Breaker { return p.breaker }
+
 // Acquire checks a connection out of the pool, blocking until one is free.
-// Pass it back with Release (always, even after errors) — or, if the
+// It fails fast with ErrPoolClosed on a closed pool — including a close
+// that lands while the caller is blocked waiting for a slot. Pass the
+// connection back with Release (always, even after errors) — or, if the
 // connection is broken, with Discard so the slot redials.
 func (p *Pool) Acquire() (*Client, error) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return nil, errors.New("kvserver: pool is closed")
+	var c *Client
+	select {
+	case <-p.done:
+		return nil, ErrPoolClosed
+	case c = <-p.conns:
 	}
-	p.mu.Unlock()
-	c := <-p.conns
 	if c == nil {
 		// Slot was discarded; redial it now. On failure the slot stays
 		// marked so the pool never shrinks.
-		c, err := DialWith(p.addr, p.opts.DialOptions)
+		c2, err := DialWith(p.addr, p.opts.DialOptions)
 		if err != nil {
 			p.conns <- nil
 			return nil, err
 		}
-		return c, nil
+		c = c2
 	}
+	// A Close that raced the wait or the redial has already drained the
+	// channel and will never see this connection: close it here instead of
+	// leaking it to a caller who would op against a closed pool.
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		//lint:ignore errcheck the pool-closed error is what the caller sees
+		c.Close()
+		return nil, ErrPoolClosed
+	}
+	p.mu.Unlock()
 	return c, nil
 }
 
-// Release returns a healthy connection to the pool.
+// Release returns a healthy connection to the pool. Release(nil) panics:
+// a nil connection has no slot to restore — callers with a broken
+// connection want Discard.
+//
+// The channel send happens under the pool mutex so it serialises with
+// Close: either Close sees the connection in the channel and closes it, or
+// Release observes the closed flag and closes it directly. Either way no
+// connection leaks. The send cannot block: every checked-out connection
+// owns a buffered slot.
 func (p *Pool) Release(c *Client) {
 	if c == nil {
-		p.conns <- nil
-		return
+		panic("kvserver: Pool.Release(nil); use Discard to retire a broken connection")
 	}
 	p.mu.Lock()
-	closed := p.closed
-	p.mu.Unlock()
-	if closed {
+	if p.closed {
+		p.mu.Unlock()
+		//lint:ignore errcheck nothing can act on a close failure of a retired connection
 		c.Close()
 		return
 	}
 	p.conns <- c
+	p.mu.Unlock()
 }
 
 // Discard closes a broken connection and marks its slot for lazy redial.
+// Discard(nil) only restores the slot marker (the redial already failed).
 func (p *Pool) Discard(c *Client) {
 	if c != nil {
+		//lint:ignore errcheck the connection is already broken; its close error is noise
 		c.Close()
 	}
 	p.conns <- nil
 }
 
-// Do runs f with a pooled connection. If f returns an error the connection
-// is assumed poisoned (mid-stream state is unknowable) and is discarded;
-// the slot redials on next use.
+// Do runs f with a pooled connection — a single attempt, never retried
+// (the pool cannot classify what the closure sent). If f returns an error
+// the connection is assumed poisoned (mid-stream state is unknowable) and
+// is discarded; the slot redials on next use. The breaker, if configured,
+// gates and observes the attempt.
 func (p *Pool) Do(f func(*Client) error) error {
-	c, err := p.Acquire()
-	if err != nil {
-		return err
+	if !p.allow() {
+		return ErrBreakerOpen
 	}
-	if err := f(c); err != nil {
-		p.Discard(c)
-		return err
-	}
-	p.Release(c)
-	return nil
+	err, _ := p.attempt(f)
+	p.record(err)
+	return err
 }
 
-// Get is Client.Get over a pooled connection.
+// attempt runs f over one acquired connection and reports whether a
+// failure was provably pre-write: no byte of this op reached the socket,
+// so the server cannot have seen any of it.
+func (p *Pool) attempt(f func(*Client) error) (err error, preWrite bool) {
+	c, err := p.Acquire()
+	if err != nil {
+		// Dial/closed failures happen before any request bytes exist.
+		return err, true
+	}
+	mark := c.wroteBytes()
+	if err := f(c); err != nil {
+		p.Discard(c)
+		return err, c.wroteBytes() == mark
+	}
+	p.Release(c)
+	return nil, false
+}
+
+// allow consults the breaker (always true when disabled) and publishes its
+// state gauge.
+func (p *Pool) allow() bool {
+	if p.breaker == nil {
+		return true
+	}
+	ok := p.breaker.Allow()
+	p.tel.breakerState.Set(float64(p.breaker.State()))
+	return ok
+}
+
+// record feeds an op outcome to the breaker. Only transport-level failures
+// count: a node that answers with an unexpected reply is still up.
+func (p *Pool) record(err error) {
+	if p.breaker == nil {
+		return
+	}
+	if errors.Is(err, ErrPoolClosed) {
+		return // pool lifecycle, not node health
+	}
+	p.breaker.Record(err == nil || !isTransportErr(err))
+	p.tel.breakerState.Set(float64(p.breaker.State()))
+}
+
+// backoff sleeps before retry number n (1-based) with exponential growth
+// and deterministic jitter.
+func (p *Pool) backoff(n int) {
+	d := p.retry.BaseBackoff << (n - 1)
+	if d > p.retry.MaxBackoff || d <= 0 {
+		d = p.retry.MaxBackoff
+	}
+	if j := p.retry.JitterFrac; j > 0 {
+		p.rngMu.Lock()
+		f := p.rng.Float64()
+		p.rngMu.Unlock()
+		d = time.Duration(float64(d) * (1 + (2*f-1)*j))
+	}
+	time.Sleep(d)
+}
+
+// doIdempotent runs f with the full retry budget: the op is read-only, so
+// re-sending after any failure is safe.
+func (p *Pool) doIdempotent(op string, f func(*Client) error) error {
+	attempts := p.retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			p.tel.retries[op].Inc()
+			p.backoff(i)
+		}
+		if !p.allow() {
+			if lastErr != nil {
+				return lastErr
+			}
+			return ErrBreakerOpen
+		}
+		err, _ := p.attempt(f)
+		p.record(err)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrPoolClosed) || errors.Is(err, errBadRequest) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// doMutate runs f with at most one retry, taken only when the first
+// failure was provably pre-write — the request never touched the wire, so
+// a re-send cannot double-apply the mutation.
+func (p *Pool) doMutate(op string, f func(*Client) error) error {
+	if !p.allow() {
+		return ErrBreakerOpen
+	}
+	err, preWrite := p.attempt(f)
+	p.record(err)
+	if err == nil || !preWrite || p.retry.Attempts < 2 ||
+		errors.Is(err, ErrPoolClosed) || errors.Is(err, errBadRequest) {
+		return err
+	}
+	p.tel.retries[op].Inc()
+	p.backoff(1)
+	if !p.allow() {
+		return err
+	}
+	err2, _ := p.attempt(f)
+	p.record(err2)
+	return err2
+}
+
+// Get is Client.Get over a pooled connection (retried; idempotent).
 func (p *Pool) Get(key string) (value []byte, found bool, err error) {
-	err = p.Do(func(c *Client) error {
+	err = p.doIdempotent("get", func(c *Client) error {
 		var e error
 		value, found, e = c.Get(key)
 		return e
@@ -124,14 +390,14 @@ func (p *Pool) Get(key string) (value []byte, found bool, err error) {
 	return value, found, err
 }
 
-// Set is Client.Set over a pooled connection.
+// Set is Client.Set over a pooled connection (retried only pre-write).
 func (p *Pool) Set(key string, value []byte) error {
-	return p.Do(func(c *Client) error { return c.Set(key, value) })
+	return p.doMutate("set", func(c *Client) error { return c.Set(key, value) })
 }
 
-// Del is Client.Del over a pooled connection.
+// Del is Client.Del over a pooled connection (retried only pre-write).
 func (p *Pool) Del(key string) (found bool, err error) {
-	err = p.Do(func(c *Client) error {
+	err = p.doMutate("del", func(c *Client) error {
 		var e error
 		found, e = c.Del(key)
 		return e
@@ -139,9 +405,9 @@ func (p *Pool) Del(key string) (found bool, err error) {
 	return found, err
 }
 
-// MGet is Client.MGet over a pooled connection.
+// MGet is Client.MGet over a pooled connection (retried; idempotent).
 func (p *Pool) MGet(keys ...string) (values [][]byte, found []bool, err error) {
-	err = p.Do(func(c *Client) error {
+	err = p.doIdempotent("mget", func(c *Client) error {
 		var e error
 		values, found, e = c.MGet(keys...)
 		return e
@@ -149,13 +415,14 @@ func (p *Pool) MGet(keys ...string) (values [][]byte, found []bool, err error) {
 	return values, found, err
 }
 
-// MSet is Client.MSet over a pooled connection.
+// MSet is Client.MSet over a pooled connection (retried only pre-write).
 func (p *Pool) MSet(keys []string, values [][]byte) error {
-	return p.Do(func(c *Client) error { return c.MSet(keys, values) })
+	return p.doMutate("mset", func(c *Client) error { return c.MSet(keys, values) })
 }
 
-// Close closes every pooled connection. Outstanding Acquires fail;
-// connections released later are closed on return.
+// Close closes every pooled connection and wakes blocked Acquires, which
+// fail with ErrPoolClosed; connections released later are closed on
+// return. Close is idempotent.
 func (p *Pool) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -163,6 +430,7 @@ func (p *Pool) Close() error {
 		return nil
 	}
 	p.closed = true
+	close(p.done)
 	p.mu.Unlock()
 	var first error
 	for {

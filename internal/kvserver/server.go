@@ -112,6 +112,9 @@ type Server struct {
 	wg       sync.WaitGroup
 	closed   atomic.Bool
 
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
 	reg *telemetry.Registry
 	tel serverTelemetry
 }
@@ -191,6 +194,23 @@ func Serve(addr string, capacity int) (*Server, error) {
 
 // ServeWith is Serve with full Options.
 func ServeWith(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := ServeOn(ln, opts)
+	if err != nil {
+		//lint:ignore errcheck the options error is what the caller sees; the listener close is cleanup
+		ln.Close()
+		return nil, err
+	}
+	return srv, nil
+}
+
+// ServeOn is ServeWith over an already-bound listener — e.g. one wrapped
+// by internal/faultnet for fault-injection runs. The server owns ln and
+// closes it on Close.
+func ServeOn(ln net.Listener, opts Options) (*Server, error) {
 	if opts.Capacity < 1 {
 		return nil, errors.New("kvserver: capacity must be >= 1, got " + strconv.Itoa(opts.Capacity))
 	}
@@ -211,13 +231,10 @@ func ServeWith(addr string, opts Options) (*Server, error) {
 		}
 		st = newStoreShards(opts.Capacity, n)
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
 	srv := &Server{
 		store:    st,
 		listener: ln,
+		conns:    make(map[net.Conn]struct{}),
 		reg:      reg,
 		tel:      newServerTelemetry(reg, st.numShards()),
 	}
@@ -235,10 +252,18 @@ func (s *Server) Addr() string { return s.listener.Addr().String() }
 // Shards returns the store's shard count.
 func (s *Server) Shards() int { return s.store.numShards() }
 
-// Close stops the listener and waits for in-flight connections to finish.
+// Close stops the listener, force-closes active connections, and waits
+// for their handlers to exit. Idle clients (e.g. pooled connections) do
+// not delay shutdown; their next op fails as a transport error.
 func (s *Server) Close() error {
 	s.closed.Store(true)
 	err := s.listener.Close()
+	s.connMu.Lock()
+	for conn := range s.conns {
+		//lint:ignore errcheck force-close on shutdown; the handler observes the read error
+		conn.Close()
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
 	return err
 }
@@ -253,9 +278,25 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		s.connMu.Lock()
+		if s.closed.Load() {
+			// Lost the race with Close: it already swept s.conns, so this
+			// conn would never be force-closed. Reject it here instead.
+			s.connMu.Unlock()
+			//lint:ignore errcheck rejecting a connection that raced shutdown
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+			}()
 			s.handle(conn)
 		}()
 	}

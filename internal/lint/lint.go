@@ -85,8 +85,10 @@ func DefaultConfig() Config {
 			"internal/metrics",
 			"internal/experiments",
 		},
-		ProtoPkgs:    []string{"internal/kvserver"},
-		ErrcheckPkgs: []string{"internal/kvserver"},
+		ProtoPkgs: []string{"internal/kvserver"},
+		// cluster and faultnet sit on the failover hot path: a dropped
+		// write error there silently corrupts the retry/breaker accounting.
+		ErrcheckPkgs: []string{"internal/kvserver", "internal/cluster", "internal/faultnet"},
 	}
 }
 

@@ -31,7 +31,14 @@ type batchData struct {
 // callers must never run serveBatch concurrently with any other policy
 // call. The prefetch pipeline upholds this by only overlapping serveBatch
 // with the forward pass, which touches no policy state.
-func serveBatch(pol policy.Policy, store *storage.Store, ds *dataset.Dataset, batch []int, tel *runTelemetry) *batchData {
+//
+// On a policy miss, a non-nil rc (the shared remote cache tier) is
+// consulted first: a hit is served at memory-tier cost, anything else —
+// clean miss or transport error — degrades to the backing-storage fetch,
+// with the payload written back best-effort. The sample remains a policy
+// miss in the stats regardless, so EpochStats stay comparable across runs
+// with and without the tier.
+func serveBatch(pol policy.Policy, store *storage.Store, ds *dataset.Dataset, batch []int, rc RemoteCache, tel *runTelemetry) *batchData {
 	d := &batchData{served: make([]int, len(batch))}
 	for i, id := range batch {
 		lk := pol.Lookup(id)
@@ -40,11 +47,33 @@ func serveBatch(pol policy.Policy, store *storage.Store, ds *dataset.Dataset, ba
 		switch lk.Source {
 		case policy.SourceMiss:
 			d.misses++
-			dur := store.FetchRemote(ds.Payload[id])
-			d.missLoad += dur
+			size := ds.Payload[id]
+			served := false
+			if rc != nil {
+				if v, found, err := rc.Get(id); err != nil {
+					tel.rcErr.Inc()
+				} else if found {
+					dur := store.FetchMemory(len(v))
+					d.missLoad += dur
+					tel.rcHit.Inc()
+					tel.fetchMemory.Observe(dur.Seconds())
+					served = true
+				} else {
+					tel.rcMiss.Inc()
+				}
+			}
+			if !served {
+				dur := store.FetchRemote(size)
+				d.missLoad += dur
+				tel.fetchRemote.Observe(dur.Seconds())
+				if rc != nil {
+					// Best-effort population: a failed write only costs
+					// the next consumer a storage fetch.
+					_ = rc.Set(id, make([]byte, size))
+				}
+			}
 			tel.lookMiss.Inc()
-			tel.fetchRemote.Observe(dur.Seconds())
-			pol.OnMiss(id, ds.Payload[id])
+			pol.OnMiss(id, size)
 		case policy.SourceCache:
 			d.hitCache++
 			dur := store.FetchMemory(ds.Payload[lk.ServedID])

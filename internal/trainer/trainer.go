@@ -32,6 +32,23 @@ import (
 	"spidercache/internal/xrand"
 )
 
+// RemoteCache is a shared cache tier between the workers and backing
+// storage — in deployment, a kvserver cluster reached through
+// internal/cluster.Client, which satisfies this interface directly. The
+// trainer treats it as strictly best-effort: a Get error degrades the
+// sample to a backing-storage fetch, and a failed Set is dropped, so an
+// unreachable cluster slows training but never fails it.
+//
+// Implementations must be safe for concurrent use: with Config.Prefetch
+// the serving path runs on a background goroutine.
+type RemoteCache interface {
+	// Get returns the cached payload for a sample ID. found=false with a
+	// nil error is a clean miss.
+	Get(id int) (payload []byte, found bool, err error)
+	// Set stores the payload for a sample ID.
+	Set(id int, payload []byte) error
+}
+
 // Config describes one training run.
 type Config struct {
 	Dataset *dataset.Dataset
@@ -75,6 +92,12 @@ type Config struct {
 	// MLP optionally overrides the learner architecture; zero value
 	// derives it from the dataset and model profile.
 	MLP nn.MLPConfig
+	// RemoteCache, when set, is consulted on every policy miss before the
+	// backing-storage fetch: a hit is served at memory-tier cost, a miss
+	// or error falls through to storage (and the fetched payload is
+	// written back best-effort). The sample still counts as a policy miss
+	// in EpochStats either way. Nil disables the tier.
+	RemoteCache RemoteCache
 	// Metrics receives live serving-path telemetry (per-tier lookup
 	// counters, simulated fetch/compute latency histograms, per-epoch
 	// accuracy/loss gauges); nil disables recording.
@@ -226,6 +249,10 @@ type runTelemetry struct {
 	prefetchStall *telemetry.Counter   // training waited on the loader
 	prefetchWait  *telemetry.Histogram // real seconds spent waiting per stall
 
+	rcHit  *telemetry.Counter // policy miss served by the remote cache tier
+	rcMiss *telemetry.Counter // remote cache answered, value absent
+	rcErr  *telemetry.Counter // remote cache unreachable; degraded to storage
+
 	// Worker-pool utilisation, exported as per-epoch deltas of the
 	// process-global par/tensor counters (training runs execute serially,
 	// so the deltas attribute cleanly to this run's epochs).
@@ -246,6 +273,7 @@ func newRunTelemetry(reg *telemetry.Registry) runTelemetry {
 	reg.Describe("train_accuracy", "held-out Top-1 accuracy after the last epoch")
 	reg.Describe("train_loss", "mean training loss of the last epoch")
 	reg.Describe("prefetch_batches_total", "prefetched batch joins by outcome (hit = ready in time, stall = training waited)")
+	reg.Describe("remote_cache_total", "policy-miss consultations of the remote cache tier by outcome (hit/miss/error)")
 	reg.Describe("prefetch_stall_seconds", "real time spent waiting on the prefetch loader per stall")
 	reg.Describe("pool_tasks_total", "CPU worker-pool task blocks by execution site (pooled/inline)")
 	reg.Describe("tensor_kernels_total", "tensor kernel dispatches by mode (parallel/serial)")
@@ -267,6 +295,10 @@ func newRunTelemetry(reg *telemetry.Registry) runTelemetry {
 		prefetchHit:   reg.Counter("prefetch_batches_total", telemetry.Labels{"result": "hit"}),
 		prefetchStall: reg.Counter("prefetch_batches_total", telemetry.Labels{"result": "stall"}),
 		prefetchWait:  reg.Histogram("prefetch_stall_seconds", nil),
+
+		rcHit:  reg.Counter("remote_cache_total", telemetry.Labels{"result": "hit"}),
+		rcMiss: reg.Counter("remote_cache_total", telemetry.Labels{"result": "miss"}),
+		rcErr:  reg.Counter("remote_cache_total", telemetry.Labels{"result": "error"}),
 
 		poolTasks:   reg.Counter("pool_tasks_total", telemetry.Labels{"exec": "pooled"}),
 		inlineTasks: reg.Counter("pool_tasks_total", telemetry.Labels{"exec": "inline"}),
@@ -397,7 +429,7 @@ func runEpoch(cfg Config, pol policy.Policy, store *storage.Store, mlp *nn.MLP, 
 		data := pending
 		pending = nil
 		if data == nil {
-			data = serveBatch(pol, store, ds, batches[b], tel)
+			data = serveBatch(pol, store, ds, batches[b], cfg.RemoteCache, tel)
 		}
 		st.Requests += data.requests
 		st.Misses += data.misses
@@ -409,7 +441,7 @@ func runEpoch(cfg Config, pol policy.Policy, store *storage.Store, mlp *nn.MLP, 
 		// below, which makes no policy calls.
 		if cfg.Prefetch && b+1 < len(batches) {
 			next := batches[b+1]
-			pf.spawn(func() *batchData { return serveBatch(pol, store, ds, next, tel) })
+			pf.spawn(func() *batchData { return serveBatch(pol, store, ds, next, cfg.RemoteCache, tel) })
 		}
 
 		// --- Preprocessing + Computation (forward/backward on the real

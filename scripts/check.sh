@@ -44,7 +44,8 @@ if [ "${SKIP_RACE:-0}" != "1" ]; then
     go test -race \
         ./internal/telemetry/... ./internal/kvserver/... ./internal/cache/... \
         ./internal/hnsw/... ./internal/semgraph/... ./internal/trainer/... \
-        ./internal/par/... ./internal/leakcheck/...
+        ./internal/par/... ./internal/leakcheck/... \
+        ./internal/faultnet/... ./internal/cluster/...
 fi
 
 echo "check.sh: all gates passed"
