@@ -1,0 +1,317 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"spidercache/internal/cluster"
+	"spidercache/internal/kvserver"
+	"spidercache/internal/telemetry"
+	"spidercache/internal/xrand"
+)
+
+// clusterParams carries the flag values the cluster path consumes.
+type clusterParams struct {
+	seeds    []string
+	nodes    int
+	replicas int
+	conns    int
+	valueSz  int
+	getFrac  float64
+	keys     int
+	zipfS    float64
+	ops      int
+	preload  bool
+	seed     uint64
+	timeout  time.Duration
+	retries  int
+	jsonOut  string
+}
+
+// clusterResult is the JSON summary the -json flag persists (the shape
+// BENCH_6.json expects): throughput, latency percentiles, hit rate and —
+// the point of the exercise — client-visible errors, which a healthy
+// cluster run keeps at zero even with a daemon killed mid-run.
+type clusterResult struct {
+	Mode          string   `json:"mode"`
+	Nodes         []string `json:"nodes"`
+	Replicas      int      `json:"replicas"`
+	Ops           int      `json:"ops"`
+	ElapsedSec    float64  `json:"elapsed_seconds"`
+	OpsPerSec     float64  `json:"ops_per_sec"`
+	MBPerSec      float64  `json:"mb_per_sec"`
+	HitRatio      float64  `json:"hit_ratio"`
+	P50Ms         float64  `json:"p50_ms"`
+	P95Ms         float64  `json:"p95_ms"`
+	P99Ms         float64  `json:"p99_ms"`
+	MaxMs         float64  `json:"max_ms"`
+	ClientErrors  int64    `json:"client_errors"`
+	PoolRetries   int64    `json:"pool_retries"`
+	Rerouted      int64    `json:"failover_rerouted"`
+	Exhausted     int64    `json:"failover_exhausted"`
+	NodesAdded    int64    `json:"discovery_added"`
+	NodesRemoved  int64    `json:"discovery_removed"`
+	FinalNodeSet  []string `json:"final_node_set"`
+	FinalHealth   int      `json:"final_serving_nodes"`
+	KeysPopulated int      `json:"keys_populated"`
+}
+
+// clusterMain drives a ring-aware cluster.Client — against externally
+// running spiderkv daemons (-cluster host:port,...), in-process daemons
+// it boots itself (-nodes N), or both. Ops are single GET/SETs (the
+// cluster client routes per key, so windows don't pipeline); resilience
+// comes from the client's per-node retries, breaker-gated failover and
+// gossip discovery. Returns the process exit code: non-zero when any
+// error reached a worker, because the whole point of a replicated cluster
+// is that none do.
+func clusterMain(p clusterParams) int {
+	seeds := append([]string(nil), p.seeds...)
+	var local []*cluster.Node
+	defer func() {
+		for _, n := range local {
+			//lint:ignore errcheck best-effort teardown at process exit
+			n.Close()
+		}
+	}()
+	if p.nodes > 0 {
+		cfg := kvserver.DefaultConfig()
+		cfg.Timeout = p.timeout
+		cfg.Retries = p.retries
+		for i := 0; i < p.nodes; i++ {
+			opts := cluster.NodeOptions{
+				Listen:      "127.0.0.1:0",
+				Replicas:    p.replicas,
+				Store:       cfg,
+				GossipEvery: 100 * time.Millisecond,
+			}
+			if len(local) > 0 {
+				opts.Seeds = []string{local[0].Addr()}
+			}
+			n, err := cluster.StartNode(opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spiderload: start node:", err)
+				return 1
+			}
+			local = append(local, n)
+			seeds = append(seeds, n.Addr())
+		}
+		fmt.Printf("booted %d in-process daemons: %s\n", p.nodes, strings.Join(seeds[len(seeds)-p.nodes:], ", "))
+	}
+
+	reg := telemetry.NewRegistry()
+	client, err := cluster.New(
+		cluster.WithSeeds(seeds...),
+		cluster.WithReplicas(p.replicas),
+		cluster.WithPoolSize(p.conns),
+		cluster.WithDial(kvserver.DialOptions{DialTimeout: p.timeout, ReadTimeout: p.timeout, WriteTimeout: p.timeout}),
+		cluster.WithRetry(kvserver.RetryOptions{Attempts: p.retries, Seed: p.seed}),
+		cluster.WithBreaker(kvserver.BreakerOptions{}),
+		cluster.WithDiscovery(250*time.Millisecond),
+		cluster.WithMetrics(reg),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spiderload:", err)
+		return 1
+	}
+	defer client.Close()
+
+	fmt.Printf("spiderload cluster: seeds=%s replicas=%d conns=%d value=%dB get=%.2f keys=%d zipf=%.2f ops=%d\n",
+		strings.Join(seeds, ","), p.replicas, p.conns, p.valueSz, p.getFrac, p.keys, p.zipfS, p.ops)
+
+	payload := make([]byte, p.valueSz)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+
+	if p.preload {
+		start := time.Now()
+		if n := preloadCluster(client, p.keys, p.conns, payload); n > 0 {
+			fmt.Fprintf(os.Stderr, "spiderload: preload: %d keys failed\n", n)
+			return 1
+		}
+		fmt.Printf("preloaded %d keys in %v\n", p.keys, time.Since(start).Round(time.Millisecond))
+	}
+
+	rtLat := newRTHistogram(reg)
+
+	root := xrand.New(p.seed)
+	results := make([]clusterWorkerResult, p.conns)
+	var wg sync.WaitGroup
+	opsPer := p.ops / p.conns
+	start := time.Now()
+	for w := 0; w < p.conns; w++ {
+		rng := root.Split()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = runClusterWorker(client, opsPer, p.getFrac, p.keys, p.zipfS, payload, rng, rtLat)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total clusterWorkerResult
+	for _, r := range results {
+		total.ops += r.ops
+		total.gets += r.gets
+		total.hits += r.hits
+		total.bytes += r.bytes
+		total.errors += r.errors
+		if r.lastErr != nil {
+			total.lastErr = r.lastErr
+		}
+	}
+
+	hitRatio := 0.0
+	if total.gets > 0 {
+		hitRatio = float64(total.hits) / float64(total.gets)
+	}
+	snap := rtLat.Snapshot()
+	counters := reg.Snapshot().Counters
+	var poolRetries int64
+	for name, v := range counters {
+		if strings.HasPrefix(name, "kv_retries_total{") {
+			poolRetries += v
+		}
+	}
+	health := client.Health()
+	serving := 0
+	for _, h := range health {
+		if h.Serving {
+			serving++
+		}
+	}
+	res := clusterResult{
+		Mode:          "cluster",
+		Nodes:         seeds,
+		Replicas:      p.replicas,
+		Ops:           total.ops,
+		ElapsedSec:    elapsed.Seconds(),
+		OpsPerSec:     float64(total.ops) / elapsed.Seconds(),
+		MBPerSec:      float64(total.bytes) / (1 << 20) / elapsed.Seconds(),
+		HitRatio:      hitRatio,
+		P50Ms:         snap.P50 * 1000,
+		P95Ms:         snap.P95 * 1000,
+		P99Ms:         snap.P99 * 1000,
+		MaxMs:         snap.Max * 1000,
+		ClientErrors:  total.errors,
+		PoolRetries:   poolRetries,
+		Rerouted:      counters[`kv_failover_total{result="rerouted"}`],
+		Exhausted:     counters[`kv_failover_total{result="exhausted"}`],
+		NodesAdded:    counters[`cluster_discovery_total{result="added"}`],
+		NodesRemoved:  counters[`cluster_discovery_total{result="removed"}`],
+		FinalNodeSet:  client.Nodes(),
+		FinalHealth:   serving,
+		KeysPopulated: p.keys,
+	}
+
+	fmt.Printf("ran %d ops in %v: %.0f ops/s, %.1f MB/s, hit %.1f%%\n",
+		total.ops, elapsed.Round(time.Millisecond), res.OpsPerSec, res.MBPerSec, 100*hitRatio)
+	fmt.Printf("per-op latency: p50=%s p95=%s p99=%s max=%s\n",
+		fmtDur(snap.P50), fmtDur(snap.P95), fmtDur(snap.P99), fmtDur(snap.Max))
+	fmt.Printf("resilience: client errors=%d, pool retries=%d, failover rerouted=%d exhausted=%d, discovery +%d/-%d, final nodes=%d (%d serving)\n",
+		total.errors, poolRetries, res.Rerouted, res.Exhausted, res.NodesAdded, res.NodesRemoved, len(res.FinalNodeSet), serving)
+
+	if p.jsonOut != "" {
+		if err := writeJSON(p.jsonOut, res); err != nil {
+			fmt.Fprintln(os.Stderr, "spiderload:", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", p.jsonOut)
+	}
+	if total.errors > 0 {
+		fmt.Fprintf(os.Stderr, "spiderload: %d client-visible errors (last: %v)\n", total.errors, total.lastErr)
+		return 3
+	}
+	return 0
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// preloadCluster SETs every key once through the cluster client, fanned
+// over `conns` goroutines; returns how many keys failed to land.
+func preloadCluster(client *cluster.Client, keys, conns int, payload []byte) int {
+	var wg sync.WaitGroup
+	fails := make([]int, conns)
+	per := (keys + conns - 1) / conns
+	for w := 0; w < conns; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > keys {
+			hi = keys
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for id := lo; id < hi; id++ {
+				if err := client.Set(id, payload); err != nil {
+					fails[w]++
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, f := range fails {
+		total += f
+	}
+	return total
+}
+
+type clusterWorkerResult struct {
+	ops     int
+	gets    int
+	hits    int
+	bytes   int64
+	errors  int64
+	lastErr error
+}
+
+// runClusterWorker is one closed-loop lane of single-key ops through the
+// cluster client. Errors are counted, not fatal: the run's verdict is the
+// final error count (zero on a healthy cluster, even through a node
+// kill), and stopping at the first error would understate the damage.
+func runClusterWorker(client *cluster.Client, ops int, getFrac float64, keys int, zipfS float64,
+	payload []byte, rng *xrand.Rand, rtLat *telemetry.Histogram) clusterWorkerResult {
+	var res clusterWorkerResult
+	zipf := xrand.NewZipf(rng, zipfS, keys)
+	for res.ops < ops {
+		id := zipf.Next()
+		start := time.Now()
+		if rng.Float64() < getFrac {
+			v, found, err := client.Get(id)
+			rtLat.Observe(time.Since(start).Seconds())
+			res.gets++
+			if err != nil {
+				res.errors++
+				res.lastErr = err
+			} else if found {
+				res.hits++
+				res.bytes += int64(len(v))
+			}
+		} else {
+			err := client.Set(id, payload)
+			rtLat.Observe(time.Since(start).Seconds())
+			if err != nil {
+				res.errors++
+				res.lastErr = err
+			} else {
+				res.bytes += int64(len(payload))
+			}
+		}
+		res.ops++
+	}
+	return res
+}

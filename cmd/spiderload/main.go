@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -65,6 +66,11 @@ func main() {
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-connection dial/read/write timeout")
 		metrics  = flag.Bool("metrics", false, "print the server METRICS snapshot at exit")
 
+		clusterSeeds = flag.String("cluster", "", "comma-separated spiderkv seed addresses; drives a ring-aware cluster client instead of one server")
+		nodesN       = flag.Int("nodes", 0, "boot this many in-process cluster daemons and drive them (implies cluster mode)")
+		replicas     = flag.Int("replicas", 2, "cluster replication factor (cluster mode)")
+		jsonOut      = flag.String("json", "", "write a JSON result summary to this file (cluster mode)")
+
 		retries       = flag.Int("retries", 8, "attempts per request window before a fault is client-visible (1 = no retries)")
 		faultReset    = flag.Float64("fault-reset", 0, "per-op probability of a connection reset (in-process server only)")
 		faultPartial  = flag.Float64("fault-partial", 0, "per-write probability of a torn partial write")
@@ -79,6 +85,39 @@ func main() {
 		*getFrac < 0 || *getFrac > 1 || *batch < 0 || *retries < 1 {
 		fmt.Fprintln(os.Stderr, "spiderload: invalid flag value")
 		os.Exit(2)
+	}
+
+	if *clusterSeeds != "" || *nodesN > 0 {
+		if *addr != "" || *faultReset > 0 || *faultPartial > 0 || *faultReadErr > 0 || *faultWriteErr > 0 || *faultLatency > 0 {
+			fmt.Fprintln(os.Stderr, "spiderload: cluster mode excludes -addr and -fault-* (kill a daemon instead)")
+			os.Exit(2)
+		}
+		if *replicas < 1 {
+			fmt.Fprintln(os.Stderr, "spiderload: invalid -replicas")
+			os.Exit(2)
+		}
+		var seeds []string
+		for _, s := range strings.Split(*clusterSeeds, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				seeds = append(seeds, s)
+			}
+		}
+		os.Exit(clusterMain(clusterParams{
+			seeds:    seeds,
+			nodes:    *nodesN,
+			replicas: *replicas,
+			conns:    *conns,
+			valueSz:  *valueSz,
+			getFrac:  *getFrac,
+			keys:     *keys,
+			zipfS:    *zipfS,
+			ops:      *ops,
+			preload:  *preload,
+			seed:     *seed,
+			timeout:  *timeout,
+			retries:  *retries,
+			jsonOut:  *jsonOut,
+		}))
 	}
 
 	faultCfg := faultnet.Config{
@@ -168,8 +207,7 @@ func main() {
 		fmt.Printf("preloaded %d keys in %v\n", *keys, time.Since(start).Round(time.Millisecond))
 	}
 
-	clientReg.Describe("load_rt_seconds", "client-observed round-trip latency per request window")
-	rtLat := clientReg.HistogramWindow("load_rt_seconds", 1<<15, nil)
+	rtLat := newRTHistogram(clientReg)
 
 	root := xrand.New(*seed)
 	var wg sync.WaitGroup
@@ -278,6 +316,13 @@ func poolRetries(reg *telemetry.Registry) int64 {
 		n += reg.Snapshot().Counters[fmt.Sprintf("kv_retries_total{node=%q,op=%q}", "load", op)]
 	}
 	return n
+}
+
+// newRTHistogram is the single registration site for load_rt_seconds,
+// shared by the single-server and cluster paths.
+func newRTHistogram(reg *telemetry.Registry) *telemetry.Histogram {
+	reg.Describe("load_rt_seconds", "client-observed round-trip latency per request window or operation")
+	return reg.HistogramWindow("load_rt_seconds", 1<<15, nil)
 }
 
 func windowOps(pipeline, batch int) int {

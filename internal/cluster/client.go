@@ -3,6 +3,9 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"time"
 
 	"spidercache/internal/kvserver"
 	"spidercache/internal/telemetry"
@@ -13,6 +16,11 @@ import (
 var ErrNoNodes = errors.New("cluster: no reachable node for key")
 
 // ClientOptions configures a ring-aware cluster client.
+//
+// ClientOptions remains the carrier for the static-list constructor
+// NewClient; new code should use New with functional options (WithSeeds,
+// WithReplicas, WithBreaker, WithRetry, WithDiscovery, ...), which cover
+// everything here plus gossip-driven topology discovery.
 type ClientOptions struct {
 	// PoolSize is the per-node connection pool size (default 2: the
 	// client fans out across nodes, so per-node pools stay small).
@@ -54,23 +62,38 @@ func (o ClientOptions) withDefaults() ClientOptions {
 
 // NodeHealth reports one node's serving state as seen by the client.
 type NodeHealth struct {
-	// Breaker is the node's circuit breaker state; BreakerClosed means
-	// the node is taking traffic normally.
+	// Breaker is the node's circuit breaker state machine position.
 	Breaker kvserver.BreakerState
+	// Serving reports whether the client would actually send this node a
+	// request right now. It is false not only when the breaker is open but
+	// also when it is half-open with the probe quota exhausted — a state
+	// in which every op fails fast exactly like open, which the bare
+	// Breaker field used to paper over. Ops dashboards should alert on
+	// !Serving, not on Breaker != BreakerClosed.
+	Serving bool
 }
 
 // clientTelemetry is the single registration site for the
-// kv_failover_total family.
+// kv_failover_total and cluster_discovery_total families and the
+// cluster_client_nodes gauge.
 type clientTelemetry struct {
 	rerouted  *telemetry.Counter
 	exhausted *telemetry.Counter
+	added     *telemetry.Counter
+	removed   *telemetry.Counter
+	nodes     *telemetry.Gauge
 }
 
 func newClientTelemetry(reg *telemetry.Registry) clientTelemetry {
 	reg.Describe("kv_failover_total", "cluster ops rerouted to a replica (rerouted) or failed on every candidate (exhausted)")
+	reg.Describe("cluster_discovery_total", "client topology changes learned from gossip (nodes added/removed)")
+	reg.Describe("cluster_client_nodes", "nodes the client currently routes to")
 	return clientTelemetry{
 		rerouted:  reg.Counter("kv_failover_total", telemetry.Labels{"result": "rerouted"}),
 		exhausted: reg.Counter("kv_failover_total", telemetry.Labels{"result": "exhausted"}),
+		added:     reg.Counter("cluster_discovery_total", telemetry.Labels{"result": "added"}),
+		removed:   reg.Counter("cluster_discovery_total", telemetry.Labels{"result": "removed"}),
+		nodes:     reg.Gauge("cluster_client_nodes", nil),
 	}
 }
 
@@ -82,25 +105,49 @@ func newClientTelemetry(reg *telemetry.Registry) clientTelemetry {
 // training run degrades to backing storage — never errors out — when the
 // whole cluster is unreachable.
 //
+// Membership is live: with WithDiscovery enabled the client polls the
+// cluster's NODES gossip verb and adds/removes nodes (and their pools and
+// ring points) as daemons join, leave or die, so topology is discovered
+// rather than configured. All ops are safe concurrently with membership
+// changes: an op racing a node removal sees its pool close underneath it
+// and fails over like any other node failure.
+//
 // Failing over a Set to a replica is safe even though the pool layer is
 // conservative about mutation retries: cache population is idempotent by
 // construction (a sample ID always maps to the same payload), so landing
 // the value on a secondary owner can at worst duplicate a cache entry,
 // never corrupt one.
 type Client struct {
+	opts ClientOptions
+	tel  clientTelemetry
+
+	mu    sync.RWMutex
 	ring  *Ring
-	nodes []string
+	nodes []string // sorted
 	pools map[string]*kvserver.Pool
-	opts  ClientOptions
-	tel   clientTelemetry
+
+	discoverEvery time.Duration
+	discoveryDone chan struct{}
+	discoveryWG   sync.WaitGroup
+	closeOnce     sync.Once
 }
 
-// NewClient builds a client over the given node addresses. Construction
-// never dials: pools are lazy, so a client can be built while some (or
-// all) nodes are down and traffic flows as they come up.
+// NewClient builds a client over the given static node addresses.
+// Construction never dials: pools are lazy, so a client can be built while
+// some (or all) nodes are down and traffic flows as they come up.
+//
+// Deprecated: NewClient cannot express dynamic topology — the node list it
+// is handed is the node list it dies with. Use New with WithSeeds (and
+// WithDiscovery for gossip-driven membership); this constructor is kept
+// working, verified by compat tests, for existing callers.
 func NewClient(nodes []string, opts ClientOptions) (*Client, error) {
-	if len(nodes) == 0 {
-		return nil, fmt.Errorf("cluster: NewClient needs at least one node")
+	return newClient(nodes, opts, 0)
+}
+
+// newClient is the shared constructor behind New and NewClient.
+func newClient(seeds []string, opts ClientOptions, discoverEvery time.Duration) (*Client, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("cluster: client needs at least one seed node")
 	}
 	opts = opts.withDefaults()
 	ring, err := NewRing(opts.RingPoints)
@@ -108,46 +155,105 @@ func NewClient(nodes []string, opts ClientOptions) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{
-		ring:  ring,
-		pools: make(map[string]*kvserver.Pool, len(nodes)),
-		opts:  opts,
-		tel:   newClientTelemetry(opts.Registry),
+		opts:          opts,
+		tel:           newClientTelemetry(opts.Registry),
+		ring:          ring,
+		pools:         make(map[string]*kvserver.Pool, len(seeds)),
+		discoverEvery: discoverEvery,
+		discoveryDone: make(chan struct{}),
 	}
-	for _, node := range nodes {
+	for _, node := range seeds {
 		if _, dup := c.pools[node]; dup {
 			return nil, fmt.Errorf("cluster: duplicate node %q", node)
 		}
-		if err := ring.Add(node); err != nil {
+		if err := c.addNode(node); err != nil {
 			return nil, err
 		}
-		breaker := *opts.Breaker // each node gets its own breaker instance
-		pool, err := kvserver.NewPool(node, kvserver.PoolOptions{
-			Size:        opts.PoolSize,
-			DialOptions: opts.Dial,
-			LazyDial:    true,
-			Retry:       opts.Retry,
-			Breaker:     &breaker,
-			Name:        node,
-			Registry:    opts.Registry,
-		})
-		if err != nil {
-			return nil, err // unreachable with LazyDial, kept for safety
-		}
-		c.pools[node] = pool
-		c.nodes = append(c.nodes, node)
+	}
+	if discoverEvery > 0 {
+		c.discoveryWG.Add(1)
+		go c.discoverLoop()
 	}
 	return c, nil
+}
+
+// addNode places node on the ring and gives it a pool. No-op if present.
+func (c *Client) addNode(node string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.pools[node]; ok {
+		return nil
+	}
+	if err := c.ring.Add(node); err != nil {
+		return err
+	}
+	breaker := *c.opts.Breaker // each node gets its own breaker instance
+	pool, err := kvserver.NewPool(node, kvserver.PoolOptions{
+		Size:        c.opts.PoolSize,
+		DialOptions: c.opts.Dial,
+		LazyDial:    true,
+		Retry:       c.opts.Retry,
+		Breaker:     &breaker,
+		Name:        node,
+		Registry:    c.opts.Registry,
+	})
+	if err != nil {
+		c.ring.Remove(node)
+		return err // unreachable with LazyDial, kept for safety
+	}
+	c.pools[node] = pool
+	c.nodes = append(c.nodes, node)
+	sort.Strings(c.nodes)
+	c.tel.nodes.Set(float64(len(c.nodes)))
+	return nil
+}
+
+// removeNode takes node off the ring and closes its pool. In-flight ops on
+// the pool fail with ErrPoolClosed and fail over normally.
+func (c *Client) removeNode(node string) {
+	c.mu.Lock()
+	pool, ok := c.pools[node]
+	if ok {
+		c.ring.Remove(node)
+		delete(c.pools, node)
+		kept := c.nodes[:0]
+		for _, n := range c.nodes {
+			if n != node {
+				kept = append(kept, n)
+			}
+		}
+		c.nodes = kept
+		c.tel.nodes.Set(float64(len(c.nodes)))
+	}
+	c.mu.Unlock()
+	if ok {
+		//lint:ignore errcheck the pool is being retired; its close error is noise
+		pool.Close()
+	}
 }
 
 // Ring exposes the placement ring (for tests and topology inspection).
 func (c *Client) Ring() *Ring { return c.ring }
 
+// Nodes returns the node set the client currently routes to (sorted).
+func (c *Client) Nodes() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, len(c.nodes))
+	copy(out, c.nodes)
+	return out
+}
+
 // candidates returns the pools owning id, in placement order.
 func (c *Client) candidates(id int) []*kvserver.Pool {
 	owners := c.ring.Owners(id, c.opts.Replicas)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	pools := make([]*kvserver.Pool, 0, len(owners))
 	for _, node := range owners {
-		pools = append(pools, c.pools[node])
+		if pool, ok := c.pools[node]; ok {
+			pools = append(pools, pool)
+		}
 	}
 	return pools
 }
@@ -207,17 +313,25 @@ func (c *Client) Set(id int, payload []byte) error {
 	return fmt.Errorf("%w: %w", ErrNoNodes, lastErr)
 }
 
-// Health reports each node's breaker state.
+// Health reports each node's breaker state and whether it is actually
+// taking traffic (see NodeHealth.Serving).
 func (c *Client) Health() map[string]NodeHealth {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make(map[string]NodeHealth, len(c.nodes))
 	for _, node := range c.nodes {
-		out[node] = NodeHealth{Breaker: c.pools[node].Breaker().State()}
+		b := c.pools[node].Breaker()
+		out[node] = NodeHealth{Breaker: b.State(), Serving: b.Serving()}
 	}
 	return out
 }
 
-// Close shuts every per-node pool. Safe to call once.
+// Close stops discovery and shuts every per-node pool. Idempotent.
 func (c *Client) Close() error {
+	c.closeOnce.Do(func() { close(c.discoveryDone) })
+	c.discoveryWG.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var first error
 	for _, node := range c.nodes {
 		if err := c.pools[node].Close(); err != nil && first == nil {

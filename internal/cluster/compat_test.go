@@ -1,0 +1,107 @@
+// Compat tests pinning the deprecated static-list constructor to the new
+// functional-options API: same placement, same defaults, same behaviour.
+// NewClient keeps working until these tests say otherwise (the same
+// contract spidercache_compat_test.go holds over Train vs TrainWith).
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"spidercache/internal/kvserver"
+	"spidercache/internal/leakcheck"
+)
+
+func TestNewMatchesNewClientPlacement(t *testing.T) {
+	leakcheck.Check(t)
+	a, b := startNode(t), startNode(t)
+	nodes := []string{a.Addr(), b.Addr()}
+
+	oldC, err := NewClient(nodes, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oldC.Close()
+	newC, err := New(WithSeeds(nodes...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer newC.Close()
+
+	for id := 0; id < 256; id++ {
+		oldOwners := oldC.Ring().Owners(id, 2)
+		newOwners := newC.Ring().Owners(id, 2)
+		if strings.Join(oldOwners, ",") != strings.Join(newOwners, ",") {
+			t.Fatalf("id %d: NewClient places on %v, New places on %v", id, oldOwners, newOwners)
+		}
+	}
+}
+
+func TestNewClientStillServes(t *testing.T) {
+	leakcheck.Check(t)
+	a, b := startNode(t), startNode(t)
+	c, err := NewClient([]string{a.Addr(), b.Addr()}, testOptions(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for id := 0; id < 32; id++ {
+		if err := c.Set(id, []byte{byte(id)}); err != nil {
+			t.Fatalf("Set(%d): %v", id, err)
+		}
+		v, found, err := c.Get(id)
+		if err != nil || !found || v[0] != byte(id) {
+			t.Fatalf("Get(%d) = %v, %v, %v", id, v, found, err)
+		}
+	}
+	// The static client must not run discovery: its node set is fixed.
+	if got := c.Nodes(); len(got) != 2 {
+		t.Fatalf("static client nodes = %v", got)
+	}
+}
+
+func TestNewOptionValidation(t *testing.T) {
+	leakcheck.Check(t)
+	cases := map[string][]Option{
+		"no seeds":           {},
+		"empty WithSeeds":    {WithSeeds()},
+		"bad replicas":       {WithSeeds("x:1"), WithReplicas(0)},
+		"bad discovery":      {WithSeeds("x:1"), WithDiscovery(0)},
+		"bad pool size":      {WithSeeds("x:1"), WithPoolSize(0)},
+		"bad ring points":    {WithSeeds("x:1"), WithRingPoints(-1)},
+		"duplicate seeds":    {WithSeeds("x:1", "x:1")},
+		"first error sticks": {WithReplicas(-1), WithSeeds()},
+	}
+	for name, opts := range cases {
+		if c, err := New(opts...); err == nil {
+			//lint:ignore errcheck the test is about construction, not teardown
+			c.Close()
+			t.Fatalf("New(%s) did not error", name)
+		}
+	}
+}
+
+func TestNewAppliesOptions(t *testing.T) {
+	leakcheck.Check(t)
+	srv := startNode(t)
+	c, err := New(
+		WithSeeds(srv.Addr()),
+		WithReplicas(3),
+		WithPoolSize(5),
+		WithRingPoints(64),
+		WithDial(kvserver.DialOptions{DialTimeout: time.Second}),
+		WithRetry(kvserver.RetryOptions{Attempts: 4}),
+		WithBreaker(kvserver.BreakerOptions{Window: 16}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.opts.Replicas != 3 || c.opts.PoolSize != 5 || c.opts.RingPoints != 64 ||
+		c.opts.Dial.DialTimeout != time.Second || c.opts.Retry.Attempts != 4 ||
+		c.opts.Breaker.Window != 16 {
+		t.Fatalf("options not applied: %+v", c.opts)
+	}
+}

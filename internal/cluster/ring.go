@@ -99,13 +99,20 @@ func (r *Ring) Nodes() []string {
 }
 
 // Owner returns the node owning sample id, or "" when the ring is empty.
-func (r *Ring) Owner(id int) string {
+// It is OwnerKey over the id's wire key, so id- and key-based routing can
+// never disagree.
+func (r *Ring) Owner(id int) string { return r.OwnerKey(key(id)) }
+
+// OwnerKey returns the node owning the given wire key, or "" when the
+// ring is empty. Daemons route replication and migration by key string
+// (they see keys, not sample IDs); clients route by id through Owner.
+func (r *Ring) OwnerKey(k string) string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if len(r.points) == 0 {
 		return ""
 	}
-	h := hash64(fmt.Sprintf("sample:%d", id))
+	h := hash64(k)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0
@@ -116,13 +123,16 @@ func (r *Ring) Owner(id int) string {
 // Owners returns the distinct nodes owning the first `n` replicas-worth of
 // successors for id — used for replicated placement. Fewer than n nodes are
 // returned when the ring is smaller than n.
-func (r *Ring) Owners(id, n int) []string {
+func (r *Ring) Owners(id, n int) []string { return r.OwnersKey(key(id), n) }
+
+// OwnersKey is Owners for a wire key (see OwnerKey).
+func (r *Ring) OwnersKey(k string, n int) []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if len(r.points) == 0 || n < 1 {
 		return nil
 	}
-	h := hash64(fmt.Sprintf("sample:%d", id))
+	h := hash64(k)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	seen := make(map[string]struct{}, n)
 	out := make([]string, 0, n)

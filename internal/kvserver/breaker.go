@@ -119,6 +119,27 @@ func (b *Breaker) State() BreakerState {
 	return b.state
 }
 
+// Serving reports whether a request would be allowed right now, without
+// consuming a half-open probe slot. It differs from State in exactly the
+// case operators care about: a half-open breaker whose probe quota is
+// already in flight fails every further request fast (Allow returns
+// false), so it is NOT serving even though State still says half-open.
+// Health reporting should use Serving, not State, to describe what callers
+// actually experience.
+func (b *Breaker) Serving() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		return b.probes < b.opts.HalfOpenSuccesses
+	default:
+		return false
+	}
+}
+
 // Allow reports whether a request may proceed. In half-open state only
 // HalfOpenSuccesses probes may be in flight at once; excess requests fail
 // fast like open.

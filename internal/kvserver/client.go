@@ -211,16 +211,16 @@ func (c *Client) Set(key string, value []byte) error {
 	if err := c.flush(); err != nil {
 		return err
 	}
-	return c.readStoredReply()
+	return c.readStoredReply("SET")
 }
 
-func (c *Client) readStoredReply() error {
+func (c *Client) readStoredReply(op string) error {
 	line, err := c.readLine()
 	if err != nil {
 		return err
 	}
 	if line != "STORED" {
-		return fmt.Errorf("kvserver: SET failed: %s", line)
+		return fmt.Errorf("kvserver: %s failed: %s", op, line)
 	}
 	return nil
 }

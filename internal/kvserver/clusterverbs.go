@@ -1,0 +1,177 @@
+package kvserver
+
+// The cluster verbs: HELLO/NODES for membership gossip and RSET/RDEL for
+// replica writes. A standalone Server answers all four (HELLO and NODES
+// report an empty node set; RSET/RDEL behave like SET/DEL), so clients and
+// peers never need to know whether an address is a bare cache or a
+// cluster daemon. A daemon wires Options.Cluster to its membership and
+// replication machinery, and the server becomes one node of a replicated
+// tier:
+//
+//   - a client-initiated SET/MSET/DEL is stored locally and then handed to
+//     ClusterHooks for synchronous fan-out to the key's other ring owners
+//     (sent as RSET/RDEL so the fan-out never cascades);
+//   - HELLO <addr> registers the announcing peer and returns the node set,
+//     which is how both daemons and discovery-enabled clients learn
+//     topology instead of being handed a static list.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MaxClusterNodes bounds the node list in one NODES reply.
+const MaxClusterNodes = 1024
+
+// errBadNodeAddr rejects HELLO addresses the wire protocol cannot carry.
+const errBadNodeAddr = protoErr("bad node address")
+
+// ClusterHooks connects a Server to the cluster daemon embedding it. Every
+// method is called synchronously from connection-handler goroutines:
+// Hello/Nodes must return quickly, and ReplicateSet/ReplicateDel run on
+// the mutation's critical path (the client's STORED reply waits for the
+// fan-out, which is what makes a replicated SET readable from every owner
+// as soon as it returns).
+type ClusterHooks interface {
+	// Hello registers a peer that announced itself and returns the node
+	// set known afterwards (the receiver included).
+	Hello(addr string) []string
+	// Nodes returns the known node set without registering anything.
+	Nodes() []string
+	// ReplicateSet fans client-initiated stores out to each key's other
+	// ring owners. Implementations must not call back into this server's
+	// own client-facing verbs.
+	ReplicateSet(keys []string, values [][]byte)
+	// ReplicateDel fans a client-initiated delete out likewise.
+	ReplicateDel(key string)
+}
+
+func (s *Server) doHello(sess *session, args [][]byte) error {
+	if len(args) != 1 {
+		return errBadArgs
+	}
+	if !validNodeAddr(args[0]) {
+		return errBadNodeAddr
+	}
+	var nodes []string
+	if s.cluster != nil {
+		nodes = s.cluster.Hello(string(args[0]))
+	}
+	return sess.writeNodes(nodes)
+}
+
+func (s *Server) doNodes(sess *session, args [][]byte) error {
+	if len(args) != 0 {
+		return errBadArgs
+	}
+	var nodes []string
+	if s.cluster != nil {
+		nodes = s.cluster.Nodes()
+	}
+	return sess.writeNodes(nodes)
+}
+
+// validNodeAddr accepts anything the line protocol can carry as a single
+// field; real dialability is the gossip layer's problem, not the parser's.
+func validNodeAddr(addr []byte) bool {
+	if len(addr) == 0 || len(addr) > MaxKeyLen {
+		return false
+	}
+	for _, c := range addr {
+		if c == ' ' || c == '\r' || c == '\n' {
+			return false
+		}
+	}
+	return true
+}
+
+// writeNodes writes "NODES <n>\r\n" followed by one address per line.
+func (sess *session) writeNodes(nodes []string) error {
+	if len(nodes) > MaxClusterNodes {
+		nodes = nodes[:MaxClusterNodes]
+	}
+	sess.w.WriteString("NODES ")
+	sess.writeInt(int64(len(nodes)))
+	_, err := sess.w.WriteString("\r\n")
+	for _, n := range nodes {
+		sess.w.WriteString(n)
+		_, err = sess.w.WriteString("\r\n")
+	}
+	return err
+}
+
+// Hello announces addr as a cluster node to the server and returns the
+// node set the server knows afterwards. Against a standalone server the
+// reply is empty.
+func (c *Client) Hello(addr string) ([]string, error) {
+	if addr == "" || len(addr) > MaxKeyLen || strings.ContainsAny(addr, " \r\n") {
+		return nil, fmt.Errorf("%w: invalid node address %q", errBadRequest, addr)
+	}
+	if _, err := fmt.Fprintf(c.w, "HELLO %s\r\n", addr); err != nil {
+		return nil, err
+	}
+	if err := c.flush(); err != nil {
+		return nil, err
+	}
+	return c.readNodesReply()
+}
+
+// Nodes returns the node set the server knows (the NODES verb). An empty
+// reply means the server carries no topology — a standalone cache, not an
+// empty cluster.
+func (c *Client) Nodes() ([]string, error) {
+	if _, err := fmt.Fprint(c.w, "NODES\r\n"); err != nil {
+		return nil, err
+	}
+	if err := c.flush(); err != nil {
+		return nil, err
+	}
+	return c.readNodesReply()
+}
+
+func (c *Client) readNodesReply() ([]string, error) {
+	line, err := c.readLine()
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(line, "NODES ") {
+		return nil, fmt.Errorf("kvserver: NODES failed: %s", line)
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(line, "NODES "))
+	if err != nil || n < 0 || n > MaxClusterNodes {
+		return nil, fmt.Errorf("kvserver: bad NODES header %q", line)
+	}
+	nodes := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		addr, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, addr)
+	}
+	return nodes, nil
+}
+
+// RSet stores value under key as a replica write: the server never fans it
+// back out, which is what keeps daemon-to-daemon replication acyclic.
+func (c *Client) RSet(key string, value []byte) error {
+	if err := c.writeSetFrame("RSET ", key, value); err != nil {
+		return err
+	}
+	if err := c.flush(); err != nil {
+		return err
+	}
+	return c.readStoredReply("RSET")
+}
+
+// RDel removes key as a replica delete (no fan-out); ok reports presence.
+func (c *Client) RDel(key string) (bool, error) {
+	if _, err := fmt.Fprintf(c.w, "RDEL %s\r\n", key); err != nil {
+		return false, err
+	}
+	if err := c.flush(); err != nil {
+		return false, err
+	}
+	return c.readDelReply()
+}

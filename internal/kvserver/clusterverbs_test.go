@@ -1,0 +1,240 @@
+package kvserver
+
+import (
+	"flag"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"spidercache/internal/simclock"
+)
+
+// fakeHooks records ClusterHooks calls so tests can assert exactly what
+// the server fans out — and, critically, what it does NOT (RSET/RDEL must
+// never cascade).
+type fakeHooks struct {
+	mu    sync.Mutex
+	hello []string
+	nodes []string
+	sets  map[string][]byte
+	dels  []string
+}
+
+func newFakeHooks(nodes ...string) *fakeHooks {
+	return &fakeHooks{nodes: nodes, sets: make(map[string][]byte)}
+}
+
+func (f *fakeHooks) Hello(addr string) []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hello = append(f.hello, addr)
+	return f.nodes
+}
+
+func (f *fakeHooks) Nodes() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nodes
+}
+
+func (f *fakeHooks) ReplicateSet(keys []string, values [][]byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, k := range keys {
+		f.sets[k] = append([]byte(nil), values[i]...)
+	}
+}
+
+func (f *fakeHooks) ReplicateDel(key string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dels = append(f.dels, key)
+}
+
+func (f *fakeHooks) snapshot() (sets map[string][]byte, dels, hello []string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	sets = make(map[string][]byte, len(f.sets))
+	for k, v := range f.sets {
+		sets[k] = v
+	}
+	return sets, append([]string(nil), f.dels...), append([]string(nil), f.hello...)
+}
+
+func serveWithHooks(t *testing.T, hooks ClusterHooks) (*Server, *Client) {
+	t.Helper()
+	srv, err := ServeWith("127.0.0.1:0", Options{Capacity: 1 << 10, Cluster: hooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		//lint:ignore errcheck test cleanup
+		srv.Close()
+	})
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		//lint:ignore errcheck test cleanup
+		c.Close()
+	})
+	return srv, c
+}
+
+func TestStandaloneServerAnswersClusterVerbs(t *testing.T) {
+	_, c := serveWithHooks(t, nil)
+	nodes, err := c.Nodes()
+	if err != nil || len(nodes) != 0 {
+		t.Fatalf("standalone NODES = %v, %v; want empty, nil", nodes, err)
+	}
+	nodes, err = c.Hello("127.0.0.1:9999")
+	if err != nil || len(nodes) != 0 {
+		t.Fatalf("standalone HELLO = %v, %v; want empty, nil", nodes, err)
+	}
+	// RSET/RDEL behave as SET/DEL on a standalone server.
+	if err := c.RSet("k", []byte("v")); err != nil {
+		t.Fatalf("RSet: %v", err)
+	}
+	v, ok, err := c.Get("k")
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get after RSet = %q, %v, %v", v, ok, err)
+	}
+	found, err := c.RDel("k")
+	if err != nil || !found {
+		t.Fatalf("RDel = %v, %v; want true, nil", found, err)
+	}
+}
+
+func TestClusterHooksFanOutAndGossip(t *testing.T) {
+	hooks := newFakeHooks("127.0.0.1:1", "127.0.0.1:2")
+	_, c := serveWithHooks(t, hooks)
+
+	nodes, err := c.Nodes()
+	if err != nil || !reflect.DeepEqual(nodes, hooks.nodes) {
+		t.Fatalf("NODES = %v, %v; want %v", nodes, err, hooks.nodes)
+	}
+	nodes, err = c.Hello("127.0.0.1:3")
+	if err != nil || !reflect.DeepEqual(nodes, hooks.nodes) {
+		t.Fatalf("HELLO reply = %v, %v; want %v", nodes, err, hooks.nodes)
+	}
+	if _, err := c.Hello("bad addr with spaces"); err == nil {
+		t.Fatal("HELLO with a space-bearing address did not error")
+	}
+
+	// SET, MSET and DEL reach the hooks; RSET and RDEL must not (the
+	// fan-out is acyclic by construction).
+	if err := c.Set("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MSet([]string{"b", "c"}, [][]byte{[]byte("2"), []byte("3")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Del("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Del("ghost"); err != nil { // a miss still replicates the delete
+		t.Fatal(err)
+	}
+	if err := c.RSet("r", []byte("4")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RDel("b"); err != nil {
+		t.Fatal(err)
+	}
+
+	sets, dels, hello := hooks.snapshot()
+	want := map[string][]byte{"a": []byte("1"), "b": []byte("2"), "c": []byte("3")}
+	if !reflect.DeepEqual(sets, want) {
+		t.Fatalf("replicated sets = %v, want %v (RSET must not cascade)", sets, want)
+	}
+	if !reflect.DeepEqual(dels, []string{"a", "ghost"}) {
+		t.Fatalf("replicated dels = %v, want [a ghost] (RDEL must not cascade)", dels)
+	}
+	if !reflect.DeepEqual(hello, []string{"127.0.0.1:3"}) {
+		t.Fatalf("hello announcements = %v, want [127.0.0.1:3]", hello)
+	}
+}
+
+func TestBreakerServingTracksProbeQuota(t *testing.T) {
+	clock := &simclock.Clock{}
+	b := newTestBreaker(clock)
+
+	if !b.Serving() {
+		t.Fatal("closed breaker reports not serving")
+	}
+	for i := 0; i < 4; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	if b.Serving() {
+		t.Fatal("open breaker reports serving")
+	}
+
+	// Half-open: serving only while probe quota (2) remains.
+	clock.Advance(100 * time.Millisecond)
+	if !b.Serving() {
+		t.Fatal("half-open breaker with free probe quota reports not serving")
+	}
+	b.Allow()
+	if !b.Serving() {
+		t.Fatal("half-open breaker with one probe left reports not serving")
+	}
+	b.Allow()
+	if b.Serving() {
+		t.Fatal("half-open breaker with exhausted probe quota reports serving — ops would see fail-fast errors while Health claims healthy")
+	}
+	b.Record(true)
+	b.Record(true)
+	if !b.Serving() {
+		t.Fatal("re-closed breaker reports not serving")
+	}
+}
+
+func TestConfigFlagBindingAndDerivation(t *testing.T) {
+	cfg := DefaultConfig()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg.BindStoreFlags(fs)
+	cfg.BindPoolFlags(fs)
+	err := fs.Parse([]string{"-capacity", "512", "-shards", "2", "-conns", "7", "-timeout", "3s", "-retries", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Capacity != 512 || cfg.Shards != 2 || cfg.PoolSize != 7 ||
+		cfg.Timeout != 3*time.Second || cfg.Retries != 5 {
+		t.Fatalf("flag binding produced %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	so := cfg.ServerOptions(nil)
+	if so.Capacity != 512 || so.Shards != 2 {
+		t.Fatalf("ServerOptions = %+v", so)
+	}
+	cfg.Breaker = &BreakerOptions{Window: 4}
+	po := cfg.PoolOptions("n1", true, nil)
+	if po.Size != 7 || !po.LazyDial || po.Name != "n1" ||
+		po.DialTimeout != 3*time.Second || po.Retry.Attempts != 5 {
+		t.Fatalf("PoolOptions = %+v", po)
+	}
+	if po.Breaker == cfg.Breaker {
+		t.Fatal("PoolOptions shared the breaker template instead of cloning it")
+	}
+	if po.Breaker.Window != 4 {
+		t.Fatalf("cloned breaker lost its settings: %+v", po.Breaker)
+	}
+
+	for _, bad := range []Config{
+		{Capacity: 0, PoolSize: 1, Retries: 1},
+		{Capacity: 1, PoolSize: 0, Retries: 1},
+		{Capacity: 1, PoolSize: 1, Retries: 0},
+		{Capacity: 1, PoolSize: 1, Retries: 1, Shards: -1},
+		{Capacity: 1, PoolSize: 1, Retries: 1, Timeout: -time.Second},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", bad)
+		}
+	}
+}

@@ -126,7 +126,7 @@ func (p *Pipeline) Exec() ([]Result, error) {
 			}
 			results[i].Value, results[i].Found = v, ok
 		case opSet:
-			if err := p.c.readStoredReply(); err != nil {
+			if err := p.c.readStoredReply("SET"); err != nil {
 				if isTransportErr(err) {
 					return nil, err
 				}

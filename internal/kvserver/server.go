@@ -27,6 +27,13 @@
 //
 // MGET/MSET batches are capped at MaxBatchOps keys/frames per command.
 //
+// Cluster verbs (see clusterverbs.go; standalone servers answer them too):
+//
+//	HELLO <addr>\r\n                       -> NODES <n>\r\n then n lines <addr>\r\n
+//	NODES\r\n                              -> NODES <n>\r\n then n lines <addr>\r\n
+//	RSET <key> <nbytes>\r\n<payload>\r\n   -> STORED (replica write: no fan-out)
+//	RDEL <key>\r\n                         -> DELETED | NOT_FOUND (no fan-out)
+//
 // # Pipelining
 //
 // Clients may write any number of complete request frames back to back
@@ -115,6 +122,8 @@ type Server struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
+	cluster ClusterHooks
+
 	reg *telemetry.Registry
 	tel serverTelemetry
 }
@@ -124,9 +133,12 @@ type serverTelemetry struct {
 	getHit, getMiss        *telemetry.Counter
 	mgetHit, mgetMiss      *telemetry.Counter
 	setOps, msetOps        *telemetry.Counter
+	rsetOps                *telemetry.Counter
 	delHit, delMiss        *telemetry.Counter
+	rdelHit, rdelMiss      *telemetry.Counter
 	getLat, setLat, delLat *telemetry.Histogram
 	mgetLat, msetLat       *telemetry.Histogram
+	rsetLat                *telemetry.Histogram
 	items, hits, misses    *telemetry.Gauge
 	shardItems             []*telemetry.Gauge // one gauge per store shard
 	flushes                *telemetry.Counter // network flushes (coalesced writes)
@@ -147,13 +159,17 @@ func newServerTelemetry(reg *telemetry.Registry, shards int) serverTelemetry {
 		mgetMiss:      reg.Counter("kv_ops_total", telemetry.Labels{"op": "mget", "result": "miss"}),
 		setOps:        reg.Counter("kv_ops_total", telemetry.Labels{"op": "set", "result": "stored"}),
 		msetOps:       reg.Counter("kv_ops_total", telemetry.Labels{"op": "mset", "result": "stored"}),
+		rsetOps:       reg.Counter("kv_ops_total", telemetry.Labels{"op": "rset", "result": "stored"}),
 		delHit:        reg.Counter("kv_ops_total", telemetry.Labels{"op": "del", "result": "deleted"}),
 		delMiss:       reg.Counter("kv_ops_total", telemetry.Labels{"op": "del", "result": "miss"}),
+		rdelHit:       reg.Counter("kv_ops_total", telemetry.Labels{"op": "rdel", "result": "deleted"}),
+		rdelMiss:      reg.Counter("kv_ops_total", telemetry.Labels{"op": "rdel", "result": "miss"}),
 		getLat:        reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "get"}),
 		setLat:        reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "set"}),
 		delLat:        reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "del"}),
 		mgetLat:       reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "mget"}),
 		msetLat:       reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "mset"}),
+		rsetLat:       reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "rset"}),
 		items:         reg.Gauge("kv_items", nil),
 		hits:          reg.Gauge("kv_hits", nil),
 		misses:        reg.Gauge("kv_misses", nil),
@@ -183,6 +199,11 @@ type Options struct {
 	// metrics into its own exposition (and vice versa: anything else
 	// registered there is served by METRICS too).
 	Registry *telemetry.Registry
+	// Cluster connects the server to a cluster daemon's membership and
+	// replication machinery (see ClusterHooks). Nil means standalone:
+	// HELLO/NODES answer with an empty node set and mutations are never
+	// fanned out.
+	Cluster ClusterHooks
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") holding up to capacity
@@ -235,6 +256,7 @@ func ServeOn(ln net.Listener, opts Options) (*Server, error) {
 		store:    st,
 		listener: ln,
 		conns:    make(map[net.Conn]struct{}),
+		cluster:  opts.Cluster,
 		reg:      reg,
 		tel:      newServerTelemetry(reg, st.numShards()),
 	}
@@ -270,6 +292,17 @@ func (s *Server) Close() error {
 
 // Stats reports (items, hits, misses).
 func (s *Server) Stats() (int, int64, int64) { return s.store.stats() }
+
+// Keys returns every resident key — the migration scan's entry point.
+// Each shard is snapshotted under its own lock; keys inserted or evicted
+// mid-scan may or may not appear.
+func (s *Server) Keys() []string { return s.store.keys() }
+
+// Peek returns the value under key without touching LRU recency or the
+// hit/miss counters, so migration reads never distort eviction order or
+// serving stats. The returned slice is the store's live value; callers
+// must not modify it.
+func (s *Server) Peek(key string) ([]byte, bool) { return s.store.peek(key) }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -407,6 +440,14 @@ func (s *Server) serveOne(sess *session) error {
 		return s.doMSet(sess, args)
 	case cmdEq(cmd, "DEL"):
 		return s.doDel(sess, args)
+	case cmdEq(cmd, "RSET"):
+		return s.doRSet(sess, args)
+	case cmdEq(cmd, "RDEL"):
+		return s.doRDel(sess, args)
+	case cmdEq(cmd, "HELLO"):
+		return s.doHello(sess, args)
+	case cmdEq(cmd, "NODES"):
+		return s.doNodes(sess, args)
 	case cmdEq(cmd, "STATS"):
 		return s.doStats(sess, args)
 	case cmdEq(cmd, "METRICS"):
@@ -471,9 +512,32 @@ func (s *Server) doSet(sess *session, args [][]byte) error {
 		return err
 	}
 	s.store.set(key, value)
+	// Fan out before the reply: when STORED lands at the client, every
+	// reachable replica owner already has the value.
+	if s.cluster != nil {
+		s.cluster.ReplicateSet([]string{key}, [][]byte{value})
+	}
 	_, err = sess.w.WriteString("STORED\r\n")
 	s.tel.setOps.Inc()
 	s.tel.setLat.Observe(time.Since(start).Seconds())
+	return err
+}
+
+// doRSet is doSet without the replication fan-out: the store half of the
+// replication protocol itself.
+func (s *Server) doRSet(sess *session, args [][]byte) error {
+	if len(args) != 2 {
+		return errBadArgs
+	}
+	start := time.Now()
+	key, value, err := sess.readPayload(args[0], args[1])
+	if err != nil {
+		return err
+	}
+	s.store.set(key, value)
+	_, err = sess.w.WriteString("STORED\r\n")
+	s.tel.rsetOps.Inc()
+	s.tel.rsetLat.Observe(time.Since(start).Seconds())
 	return err
 }
 
@@ -486,6 +550,12 @@ func (s *Server) doMSet(sess *session, args [][]byte) error {
 		return errBadBatchCount
 	}
 	start := time.Now()
+	var rkeys []string
+	var rvalues [][]byte
+	if s.cluster != nil {
+		rkeys = make([]string, 0, count)
+		rvalues = make([][]byte, 0, count)
+	}
 	for i := 0; i < count; i++ {
 		line, err := sess.readLine()
 		if err != nil {
@@ -501,6 +571,13 @@ func (s *Server) doMSet(sess *session, args [][]byte) error {
 			return err
 		}
 		s.store.set(key, value)
+		if s.cluster != nil {
+			rkeys = append(rkeys, key)
+			rvalues = append(rvalues, value)
+		}
+	}
+	if s.cluster != nil {
+		s.cluster.ReplicateSet(rkeys, rvalues)
 	}
 	sess.w.WriteString("STORED ")
 	sess.writeInt(int64(count))
@@ -515,7 +592,13 @@ func (s *Server) doDel(sess *session, args [][]byte) error {
 		return errBadArgs
 	}
 	start := time.Now()
-	deleted := s.store.del(string(args[0]))
+	key := string(args[0])
+	deleted := s.store.del(key)
+	// Deletes fan out even on a local miss: a replica may hold the value
+	// this node already evicted, and a DEL must not resurrect it.
+	if s.cluster != nil {
+		s.cluster.ReplicateDel(key)
+	}
 	s.tel.delLat.Observe(time.Since(start).Seconds())
 	if deleted {
 		s.tel.delHit.Inc()
@@ -523,6 +606,21 @@ func (s *Server) doDel(sess *session, args [][]byte) error {
 		return err
 	}
 	s.tel.delMiss.Inc()
+	_, err := sess.w.WriteString("NOT_FOUND\r\n")
+	return err
+}
+
+// doRDel is doDel without the replication fan-out.
+func (s *Server) doRDel(sess *session, args [][]byte) error {
+	if len(args) != 1 {
+		return errBadArgs
+	}
+	if s.store.del(string(args[0])) {
+		s.tel.rdelHit.Inc()
+		_, err := sess.w.WriteString("DELETED\r\n")
+		return err
+	}
+	s.tel.rdelMiss.Inc()
 	_, err := sess.w.WriteString("NOT_FOUND\r\n")
 	return err
 }

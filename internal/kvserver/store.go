@@ -160,6 +160,36 @@ func fnv1aBytes(key []byte) uint32 {
 	return h
 }
 
+// peek returns the value under key without bumping LRU recency or the
+// hit/miss counters — the migration scan's read primitive, so pushing keys
+// to a new replica owner neither distorts eviction order nor pollutes the
+// serving hit ratio.
+func (s *store) peek(key string) ([]byte, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n, ok := sh.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return n.value, true
+}
+
+// keys returns every resident key. Each shard is snapshotted under its own
+// lock, so the result is a consistent per-shard view (keys inserted or
+// evicted mid-scan may or may not appear, as with stats).
+func (s *store) keys() []string {
+	out := make([]string, 0, 256)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for k := range sh.entries {
+			out = append(out, k)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 func (s *store) set(key string, value []byte) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()

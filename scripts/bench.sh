@@ -33,3 +33,11 @@ LOAD_OPS="${LOAD_OPS:-20000}"
 go run ./cmd/spiderload -ops "$LOAD_OPS" -conns 2 -pipeline 1
 go run ./cmd/spiderload -ops "$LOAD_OPS" -conns 2 -pipeline 16
 go run ./cmd/spiderload -ops "$LOAD_OPS" -conns 2 -batch 16
+
+# Cluster resilience smoke (opt-in: boots real daemon processes and kills
+# one mid-run, so it is slower and port-hungry). Persists BENCH_6.json.
+#
+#   CLUSTER_SMOKE=1 scripts/bench.sh
+if [ "${CLUSTER_SMOKE:-0}" = "1" ]; then
+    SKIP_CHECK=1 scripts/cluster_smoke.sh
+fi

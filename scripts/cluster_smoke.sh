@@ -1,0 +1,72 @@
+#!/bin/sh
+# Cluster resilience smoke: boots three spiderkv daemons, drives them with
+# the spiderload cluster client, SIGKILLs one daemon mid-run, and asserts
+# the run ends with ZERO client-visible errors — replication plus
+# breaker-gated failover plus gossip discovery must absorb the death.
+# The run's throughput/latency summary is persisted as a JSON file.
+#
+#   scripts/cluster_smoke.sh                 # default: BENCH_6.json
+#   OPS=500000 OUT=/tmp/r.json scripts/cluster_smoke.sh
+#   PORT_BASE=9461 scripts/cluster_smoke.sh  # if 7461-7463 are taken
+set -eu
+cd "$(dirname "$0")/.."
+
+PORT_BASE="${PORT_BASE:-7461}"
+OPS="${OPS:-150000}"
+KEYS="${KEYS:-4000}"
+VALUE="${VALUE:-1024}"
+OUT="${OUT:-BENCH_6.json}"
+KILL_AFTER="${KILL_AFTER:-1}"
+
+TMP="$(mktemp -d)"
+P1=""; P2=""; P3=""
+cleanup() {
+    for p in $P1 $P2 $P3; do
+        kill "$p" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build"
+go build -o "$TMP/spiderkv" ./cmd/spiderkv
+go build -o "$TMP/spiderload" ./cmd/spiderload
+
+A1="127.0.0.1:$PORT_BASE"
+A2="127.0.0.1:$((PORT_BASE + 1))"
+A3="127.0.0.1:$((PORT_BASE + 2))"
+
+echo "== boot 3 daemons ($A1 $A2 $A3)"
+"$TMP/spiderkv" -listen "$A1" -gossip 250ms >"$TMP/kv1.log" 2>&1 &
+P1=$!
+"$TMP/spiderkv" -listen "$A2" -join "$A1" -gossip 250ms >"$TMP/kv2.log" 2>&1 &
+P2=$!
+"$TMP/spiderkv" -listen "$A3" -join "$A1" -gossip 250ms >"$TMP/kv3.log" 2>&1 &
+P3=$!
+sleep 1 # let gossip converge before load arrives
+
+echo "== spiderload with a mid-run SIGKILL of daemon 3"
+"$TMP/spiderload" -cluster "$A1" -ops "$OPS" -keys "$KEYS" -value "$VALUE" \
+    -json "$OUT" >"$TMP/load.log" 2>&1 &
+LOAD=$!
+sleep "$KILL_AFTER"
+if kill -0 "$LOAD" 2>/dev/null; then
+    echo "killing daemon 3 (pid $P3) mid-run"
+    kill -9 "$P3" 2>/dev/null || true
+else
+    echo "WARNING: load finished before the kill; raise OPS for a real mid-run kill" >&2
+fi
+
+if ! wait "$LOAD"; then
+    echo "cluster_smoke: spiderload reported client-visible errors" >&2
+    cat "$TMP/load.log" >&2
+    exit 1
+fi
+cat "$TMP/load.log"
+
+echo "== assertions"
+if ! grep -q '"client_errors": 0' "$OUT"; then
+    echo "cluster_smoke: non-zero client_errors in $OUT" >&2
+    exit 1
+fi
+echo "cluster_smoke: zero client errors through a daemon kill; results in $OUT"
