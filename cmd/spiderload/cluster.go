@@ -16,28 +16,34 @@ import (
 
 // clusterParams carries the flag values the cluster path consumes.
 type clusterParams struct {
-	seeds    []string
-	nodes    int
-	replicas int
-	conns    int
-	valueSz  int
-	getFrac  float64
-	keys     int
-	zipfS    float64
-	ops      int
-	preload  bool
-	seed     uint64
-	timeout  time.Duration
-	retries  int
-	jsonOut  string
+	seeds     []string
+	nodes     int
+	replicas  int
+	conns     int
+	valueSz   int
+	getFrac   float64
+	keys      int
+	zipfS     float64
+	ops       int
+	preload   bool
+	seed      uint64
+	timeout   time.Duration
+	retries   int
+	jsonOut   string
+	storeMode string
+	admission string
 }
 
-// clusterResult is the JSON summary the -json flag persists (the shape
-// BENCH_6.json expects): throughput, latency percentiles, hit rate and —
-// the point of the exercise — client-visible errors, which a healthy
-// cluster run keeps at zero even with a daemon killed mid-run.
-type clusterResult struct {
+// loadResult is the JSON summary the -json flag persists, with one schema
+// for both the single-node and cluster paths so A/B tooling (BENCH_6.json,
+// BENCH_7.json, scripts/bench.sh) can diff runs field-for-field: mode
+// tells them apart ("single" vs "cluster"), throughput/latency/hit-rate
+// fields mean the same thing in both, and the cluster-only resilience
+// counters are simply zero in a single-node run.
+type loadResult struct {
 	Mode          string   `json:"mode"`
+	StoreMode     string   `json:"store_mode"`
+	Admission     string   `json:"admission"`
 	Nodes         []string `json:"nodes"`
 	Replicas      int      `json:"replicas"`
 	Ops           int      `json:"ops"`
@@ -81,6 +87,12 @@ func clusterMain(p clusterParams) int {
 		cfg := kvserver.DefaultConfig()
 		cfg.Timeout = p.timeout
 		cfg.Retries = p.retries
+		if p.storeMode != "" {
+			cfg.StoreMode = p.storeMode
+		}
+		if p.admission != "" {
+			cfg.Admission = p.admission
+		}
 		for i := 0; i < p.nodes; i++ {
 			opts := cluster.NodeOptions{
 				Listen:      "127.0.0.1:0",
@@ -185,8 +197,10 @@ func clusterMain(p clusterParams) int {
 			serving++
 		}
 	}
-	res := clusterResult{
+	res := loadResult{
 		Mode:          "cluster",
+		StoreMode:     orDefault(p.storeMode, kvserver.StoreModeMutex),
+		Admission:     orDefault(p.admission, kvserver.AdmissionNone),
 		Nodes:         seeds,
 		Replicas:      p.replicas,
 		Ops:           total.ops,
@@ -228,6 +242,13 @@ func clusterMain(p clusterParams) int {
 		return 3
 	}
 	return 0
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
 }
 
 func writeJSON(path string, v any) error {

@@ -13,6 +13,12 @@
 //	                                         # pre-batching serving path)
 //	spiderload -batch 16                     # MGET/MSET batch verbs
 //	spiderload -get 0.5 -value 8192 -zipf 0  # write-heavy, uniform keys
+//	spiderload -store-mode arena -admission tinylfu
+//	                                         # GC-free arena store with
+//	                                         # TinyLFU admission in the
+//	                                         # in-process server
+//	spiderload -json out.json                # persist the run summary
+//	                                         # (same schema as cluster mode)
 //	spiderload -metrics                      # server METRICS dump at exit
 //	spiderload -fault-reset 0.01 -fault-partial 0.02
 //	                                         # robustness run: the in-process
@@ -49,10 +55,14 @@ import (
 )
 
 func main() {
+	// The server-side knobs (-capacity, -shards, -store-mode, -admission)
+	// come from the canonical kvserver.Config so spiderload accepts exactly
+	// the flags spiderkv does; they configure the in-process server
+	// (single-node mode) or the booted daemons (-nodes cluster mode).
+	storeCfg := kvserver.DefaultConfig()
+	storeCfg.BindStoreFlags(flag.CommandLine)
 	var (
 		addr     = flag.String("addr", "", "server address; empty starts an in-process server")
-		capacity = flag.Int("capacity", 1<<16, "item capacity for the in-process server")
-		shards   = flag.Int("shards", 0, "store shards for the in-process server (0 = auto)")
 		conns    = flag.Int("conns", 4, "concurrent client connections")
 		pipeline = flag.Int("pipeline", 16, "requests per round trip (1 = no pipelining)")
 		batch    = flag.Int("batch", 0, "use MGET/MSET with this many keys per command instead of pipelined GET/SET (0 = off)")
@@ -69,7 +79,7 @@ func main() {
 		clusterSeeds = flag.String("cluster", "", "comma-separated spiderkv seed addresses; drives a ring-aware cluster client instead of one server")
 		nodesN       = flag.Int("nodes", 0, "boot this many in-process cluster daemons and drive them (implies cluster mode)")
 		replicas     = flag.Int("replicas", 2, "cluster replication factor (cluster mode)")
-		jsonOut      = flag.String("json", "", "write a JSON result summary to this file (cluster mode)")
+		jsonOut      = flag.String("json", "", "write a JSON result summary to this file (same schema in single-node and cluster mode)")
 
 		retries       = flag.Int("retries", 8, "attempts per request window before a fault is client-visible (1 = no retries)")
 		faultReset    = flag.Float64("fault-reset", 0, "per-op probability of a connection reset (in-process server only)")
@@ -84,6 +94,10 @@ func main() {
 	if *conns < 1 || *pipeline < 1 || *keys < 1 || *ops < 1 || *valueSz < 0 ||
 		*getFrac < 0 || *getFrac > 1 || *batch < 0 || *retries < 1 {
 		fmt.Fprintln(os.Stderr, "spiderload: invalid flag value")
+		os.Exit(2)
+	}
+	if err := storeCfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "spiderload:", err)
 		os.Exit(2)
 	}
 
@@ -103,20 +117,22 @@ func main() {
 			}
 		}
 		os.Exit(clusterMain(clusterParams{
-			seeds:    seeds,
-			nodes:    *nodesN,
-			replicas: *replicas,
-			conns:    *conns,
-			valueSz:  *valueSz,
-			getFrac:  *getFrac,
-			keys:     *keys,
-			zipfS:    *zipfS,
-			ops:      *ops,
-			preload:  *preload,
-			seed:     *seed,
-			timeout:  *timeout,
-			retries:  *retries,
-			jsonOut:  *jsonOut,
+			seeds:     seeds,
+			nodes:     *nodesN,
+			replicas:  *replicas,
+			conns:     *conns,
+			valueSz:   *valueSz,
+			getFrac:   *getFrac,
+			keys:      *keys,
+			zipfS:     *zipfS,
+			ops:       *ops,
+			preload:   *preload,
+			seed:      *seed,
+			timeout:   *timeout,
+			retries:   *retries,
+			jsonOut:   *jsonOut,
+			storeMode: storeCfg.StoreMode,
+			admission: storeCfg.Admission,
 		}))
 	}
 
@@ -141,7 +157,7 @@ func main() {
 	var faultReg *telemetry.Registry
 	target := *addr
 	if target == "" {
-		opts := kvserver.Options{Capacity: *capacity, Shards: *shards}
+		opts := storeCfg.ServerOptions(nil)
 		var srv *kvserver.Server
 		var err error
 		if faultsOn {
@@ -160,8 +176,8 @@ func main() {
 		}
 		defer srv.Close()
 		target = srv.Addr()
-		fmt.Printf("in-process server on %s (capacity=%d shards=%d)\n",
-			target, *capacity, srv.Shards())
+		fmt.Printf("in-process server on %s (capacity=%d shards=%d store-mode=%s admission=%s)\n",
+			target, storeCfg.Capacity, srv.Shards(), storeCfg.StoreMode, storeCfg.Admission)
 		if faultsOn {
 			fmt.Printf("fault injection: reset=%.3f partial=%.3f read-err=%.3f write-err=%.3f latency=%v seed=%d\n",
 				*faultReset, *faultPartial, *faultReadErr, *faultWriteErr, *faultLatency, *faultSeed)
@@ -268,6 +284,36 @@ func main() {
 		fmt.Printf("faults injected: %s\n", faultSummary(faultReg))
 		fmt.Printf("absorbed by: %d window retries, %d pool op retries; client-visible errors: 0\n",
 			total.windowRetries, poolRetries(clientReg))
+	}
+
+	if *jsonOut != "" {
+		// Same schema as cluster mode (see loadResult); a single-node run
+		// reaches this point only with zero client-visible errors, and the
+		// cluster-only resilience counters stay zero.
+		res := loadResult{
+			Mode:          "single",
+			StoreMode:     storeCfg.StoreMode,
+			Admission:     storeCfg.Admission,
+			Nodes:         []string{target},
+			Replicas:      1,
+			Ops:           total.ops,
+			ElapsedSec:    elapsed.Seconds(),
+			OpsPerSec:     opsPerSec,
+			MBPerSec:      mbPerSec,
+			HitRatio:      hitRatio,
+			P50Ms:         snap.P50 * 1000,
+			P95Ms:         snap.P95 * 1000,
+			P99Ms:         snap.P99 * 1000,
+			MaxMs:         snap.Max * 1000,
+			PoolRetries:   poolRetries(clientReg),
+			FinalNodeSet:  []string{target},
+			FinalHealth:   1,
+			KeysPopulated: *keys,
+		}
+		if err := writeJSON(*jsonOut, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 
 	if *metrics {

@@ -1,0 +1,203 @@
+package cache
+
+// GraphAware is a GreedyDual-family eviction policy with neighbour score
+// propagation, in the spirit of graph-native stores (GraphKV) that keep a
+// vertex hot while its neighbourhood is hot. Each resident carries a
+// priority score; a touch (Get hit or Put) lifts the touched sample to
+// max(score, age)+graphBoost and also credits its *resident* graph
+// neighbours with a smaller increment, so a sample whose semantic
+// neighbourhood sees traffic accumulates standing even if it is never
+// re-requested itself. Eviction takes the minimum-score resident (oldest
+// touch breaking ties, so the nil-graph degenerate case orders exactly
+// like LRU) and raises the global age to the victim's score — the
+// GreedyDual ageing trick that lets stale neighbourhood credit expire
+// without per-item timers: once traffic moves elsewhere, the floor
+// climbs to the abandoned cluster's frozen scores and reclaims it.
+//
+// The neighbour relation is supplied as a callback so callers choose the
+// graph: the experiment harness derives bounded-degree neighbour lists
+// from dataset labels (samples of the same class in a ring), matching the
+// homophily structure SpiderCache exploits.
+type GraphAware struct {
+	capacity  int
+	neighbors func(id int) []int
+	entries   map[int]*gaEntry
+	heap      []*gaEntry
+	age       float64
+	seq       int64
+	evictions int64
+}
+
+type gaEntry struct {
+	item  Item
+	score float64
+	seq   int64 // last direct touch, for LRU tie-breaking
+	pos   int
+}
+
+const (
+	// graphBoost is the credit a direct touch adds above the ageing floor.
+	graphBoost = 1.0
+	// graphSpill is the credit spilled to each resident neighbour of a
+	// touched sample. Below graphBoost so spilled standing accrues slower
+	// than direct hits, but accumulates across touches: a neighbourhood
+	// under sustained traffic outscores one-shot scan entries.
+	graphSpill = 0.4
+)
+
+// NewGraphAware returns an empty graph-aware cache holding up to capacity
+// items. neighbors may be nil, degrading to GreedyDual ageing with LRU
+// tie-breaking.
+func NewGraphAware(capacity int, neighbors func(id int) []int) *GraphAware {
+	checkCap(capacity)
+	return &GraphAware{
+		capacity:  capacity,
+		neighbors: neighbors,
+		entries:   make(map[int]*gaEntry, capacity),
+	}
+}
+
+// Get reports whether id is cached, recording the touch and propagating
+// neighbour credit on a hit.
+func (c *GraphAware) Get(id int) (Item, bool) {
+	e, ok := c.entries[id]
+	if !ok {
+		return Item{}, false
+	}
+	c.touch(e)
+	return e.item, true
+}
+
+// Put admits the item, evicting the minimum-score resident when full. It
+// reports whether the item resides in the cache afterwards (always, when
+// capacity is non-zero: a fresh touch scores age+graphBoost, strictly
+// above the eviction floor, so admission never fails).
+func (c *GraphAware) Put(item Item) bool {
+	if c.capacity == 0 {
+		return false
+	}
+	if e, ok := c.entries[item.ID]; ok {
+		e.item = item
+		c.touch(e)
+		return true
+	}
+	if len(c.entries) >= c.capacity {
+		victim := c.heap[0]
+		c.age = victim.score
+		c.removeAt(0)
+		delete(c.entries, victim.item.ID)
+		c.evictions++
+	}
+	e := &gaEntry{item: item, pos: len(c.heap)}
+	c.entries[item.ID] = e
+	c.heap = append(c.heap, e)
+	c.touch(e)
+	return true
+}
+
+// Len returns the number of cached items.
+func (c *GraphAware) Len() int { return len(c.entries) }
+
+// Cap returns the item capacity.
+func (c *GraphAware) Cap() int { return c.capacity }
+
+// Evictions returns the cumulative number of displaced residents.
+func (c *GraphAware) Evictions() int64 { return c.evictions }
+
+// Score returns the current priority of a resident (tests and debugging).
+func (c *GraphAware) Score(id int) (float64, bool) {
+	e, ok := c.entries[id]
+	if !ok {
+		return 0, false
+	}
+	return e.score, true
+}
+
+// touch credits e with a full boost above the ageing floor, stamps its
+// recency sequence, and spills partial credit onto resident neighbours.
+// Scores only ever rise, so heap maintenance is a sift-down per credited
+// entry.
+func (c *GraphAware) touch(e *gaEntry) {
+	c.seq++
+	e.seq = c.seq
+	c.credit(e, graphBoost)
+	if c.neighbors == nil {
+		return
+	}
+	for _, nb := range c.neighbors(e.item.ID) {
+		if ne, ok := c.entries[nb]; ok && ne != e {
+			c.credit(ne, graphSpill)
+		}
+	}
+}
+
+// credit raises e's score to max(score, age)+boost: entries above the
+// floor accumulate standing with every credit (frequency), entries the
+// floor has overtaken restart from it (ageing). Sifting both ways covers
+// the one raise that can still move an entry up — a fresh insert leaving
+// its zero-score leaf position.
+func (c *GraphAware) credit(e *gaEntry, boost float64) {
+	base := e.score
+	if c.age > base {
+		base = c.age
+	}
+	e.score = base + boost
+	c.siftDownGA(e.pos)
+	c.siftUpGA(e.pos)
+}
+
+// less orders the eviction heap: lowest score first, oldest direct touch
+// breaking ties.
+func (c *GraphAware) less(i, j int) bool {
+	a, b := c.heap[i], c.heap[j]
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.seq < b.seq
+}
+
+func (c *GraphAware) swapGA(i, j int) {
+	c.heap[i], c.heap[j] = c.heap[j], c.heap[i]
+	c.heap[i].pos = i
+	c.heap[j].pos = j
+}
+
+func (c *GraphAware) siftUpGA(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.less(i, parent) {
+			return
+		}
+		c.swapGA(i, parent)
+		i = parent
+	}
+}
+
+func (c *GraphAware) siftDownGA(i int) {
+	n := len(c.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && c.less(l, small) {
+			small = l
+		}
+		if r < n && c.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		c.swapGA(i, small)
+		i = small
+	}
+}
+
+func (c *GraphAware) removeAt(i int) {
+	last := len(c.heap) - 1
+	c.swapGA(i, last)
+	c.heap = c.heap[:last]
+	if i < last {
+		c.siftDownGA(i)
+		c.siftUpGA(i)
+	}
+}

@@ -1,0 +1,156 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// cliqueNeighbors links ids [0,n) into a full clique.
+func cliqueNeighbors(n int) func(id int) []int {
+	return func(id int) []int {
+		if id < 0 || id >= n {
+			return nil
+		}
+		out := make([]int, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i != id {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+}
+
+func TestGraphAwareBasics(t *testing.T) {
+	c := NewGraphAware(2, nil)
+	if ok := c.Put(Item{ID: 1, Size: 10}); !ok {
+		t.Fatal("put rejected")
+	}
+	c.Put(Item{ID: 2, Size: 10})
+	if c.Len() != 2 || c.Cap() != 2 {
+		t.Fatalf("len=%d cap=%d", c.Len(), c.Cap())
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("1 not resident")
+	}
+	// 2 is now the minimum; inserting 3 must evict it.
+	c.Put(Item{ID: 3, Size: 10})
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 survived eviction")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("touched 1 was evicted instead of stale 2")
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions = %d", c.Evictions())
+	}
+
+	zero := NewGraphAware(0, nil)
+	if zero.Put(Item{ID: 1}) {
+		t.Fatal("zero-capacity cache admitted an item")
+	}
+}
+
+// TestGraphAwareNilNeighborsIsGreedyDual: without a graph the policy
+// degenerates to GreedyDual ageing, which evicts in exact recency order.
+func TestGraphAwareNilNeighborsIsGreedyDual(t *testing.T) {
+	c := NewGraphAware(4, nil)
+	for id := 0; id < 4; id++ {
+		c.Put(Item{ID: id})
+	}
+	// Touch in reverse so 3 is stalest... then 0 freshest.
+	for id := 3; id >= 0; id-- {
+		c.Get(id)
+	}
+	for want := 3; want >= 1; want-- {
+		c.Put(Item{ID: 100 + want})
+		if _, ok := c.Get(want); ok {
+			t.Fatalf("expected %d to be the eviction victim", want)
+		}
+	}
+	if _, ok := c.Get(0); !ok {
+		t.Fatal("freshest entry evicted")
+	}
+}
+
+// TestGraphAwareNeighborhoodSurvivesScan is the policy's reason to exist:
+// a cold sequential scan evicts an LRU cache's entire working set, but
+// under graph-aware scoring the hot sample's neighbourhood keeps
+// receiving spilled credit and outlives the scan.
+func TestGraphAwareNeighborhoodSurvivesScan(t *testing.T) {
+	const cluster = 10
+	const capacity = 16
+	ga := NewGraphAware(capacity, cliqueNeighbors(cluster))
+	lru := NewLRU(capacity)
+	for id := 0; id < cluster; id++ {
+		ga.Put(Item{ID: id})
+		lru.Put(Item{ID: id})
+	}
+	// One hot sample; every other access is a never-repeating scan key.
+	for i := 0; i < 500; i++ {
+		ga.Get(0)
+		lru.Get(0)
+		scan := Item{ID: 1000 + i}
+		ga.Put(scan)
+		lru.Put(scan)
+	}
+	gaAlive, lruAlive := 0, 0
+	for id := 1; id < cluster; id++ {
+		if _, ok := ga.entries[id]; ok { // entries, not Get: no touch
+			gaAlive++
+		}
+		if _, ok := lru.Get(id); ok {
+			lruAlive++
+		}
+	}
+	if lruAlive != 0 {
+		t.Fatalf("LRU kept %d untouched cluster members through a scan; scan too short", lruAlive)
+	}
+	if gaAlive != cluster-1 {
+		t.Fatalf("graph-aware cache kept %d/%d of the hot sample's neighbourhood", gaAlive, cluster-1)
+	}
+}
+
+// TestGraphAwareScoreMonotone checks the GreedyDual invariant: the global
+// age never exceeds any resident's score, so every admission lands above
+// the eviction floor.
+func TestGraphAwareScoreMonotone(t *testing.T) {
+	c := NewGraphAware(8, cliqueNeighbors(64))
+	for i := 0; i < 1000; i++ {
+		c.Put(Item{ID: i % 64})
+		if i%3 == 0 {
+			c.Get((i * 7) % 64)
+		}
+		for id := range c.entries {
+			s, ok := c.Score(id)
+			if !ok || s < c.age {
+				t.Fatalf("resident %d score %g below age %g", id, s, c.age)
+			}
+		}
+	}
+}
+
+func BenchmarkGraphAware(b *testing.B) {
+	for _, deg := range []int{0, 8} {
+		b.Run(fmt.Sprintf("degree=%d", deg), func(b *testing.B) {
+			var nb func(int) []int
+			if deg > 0 {
+				nb = func(id int) []int {
+					out := make([]int, deg)
+					for j := range out {
+						out[j] = (id + j + 1) % 1024
+					}
+					return out
+				}
+			}
+			c := NewGraphAware(512, nb)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				id := i % 1024
+				if _, ok := c.Get(id); !ok {
+					c.Put(Item{ID: id})
+				}
+			}
+		})
+	}
+}

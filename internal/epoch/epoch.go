@@ -1,0 +1,175 @@
+// Package epoch implements epoch-based reclamation (EBR): the coordination
+// protocol that lets lock-free readers traverse memory a writer wants to
+// recycle. Readers bracket each read-side critical section with Pin/Unpin,
+// recording the global epoch they entered under; a writer that has removed
+// all new paths to a region of memory calls Retire (which advances the
+// epoch) and may overwrite the region only once Safe reports that no reader
+// pinned at or before the retirement epoch is still active.
+//
+// The kvserver arena store is the intended client: GET serves value bytes
+// straight out of a shard arena without taking the shard mutex, and
+// compaction recycles arena chunks. Without a grace period, a recycled
+// chunk could be overwritten mid-read, handing a reader torn bytes; with
+// one, the protocol is:
+//
+//	reader                         writer (compaction)
+//	------                         -------------------
+//	s := r.Pin()                   copy live values to new chunks
+//	v := index lookup (atomic)     publish new locations (atomic stores)
+//	use v...                       e := r.Retire()        // epoch++
+//	s.Unpin()                      ... later, if r.Safe(e): reuse chunks
+//
+// Safety argument. Go's sync/atomic operations are sequentially consistent,
+// so all pins, location stores and the epoch bump order into one total
+// order. A reader pinned at epoch <= e may have loaded an old location
+// before the writer republished it, so it can legally hold bytes in a
+// retired chunk — and Safe(e) reports false until it unpins. A reader
+// pinned at epoch > e observed the bump, which the writer performed *after*
+// republishing every location; by sequential consistency its subsequent
+// index loads see the new locations, so it can never reach the retired
+// chunk. Hence once every active slot shows epoch > e, no reader holds or
+// can obtain a reference into chunks retired at e. Pin itself closes the
+// classic registration race (reader loads epoch e, stalls, writer advances
+// and scans, reader publishes e late) by re-checking the epoch after
+// publishing its slot and re-publishing until the two agree.
+//
+// The race detector sees the same argument: the writer's Safe load of a
+// slot synchronises with that reader's Unpin store, establishing the
+// happens-before edge from the reader's plain loads of chunk bytes to the
+// writer's plain stores over them.
+//
+// Slots are claimed from a grow-only registry by CAS, so Pin allocates only
+// when every registered slot is busy — the registry size converges to the
+// peak number of concurrent readers and the steady-state Pin/Unpin cost is
+// a few atomic operations with zero allocations.
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Reclaimer coordinates one population of readers and writers. The zero
+// value is not usable; call New.
+type Reclaimer struct {
+	epoch atomic.Uint64
+	slots atomic.Pointer[[]*Slot] // grow-only; swapped under mu
+	mu    sync.Mutex
+	seq   atomic.Uint32 // rotates the claim scan's start index
+}
+
+// Slot is one reader's registration. A Slot is held between Pin and Unpin
+// and must not be shared between goroutines while held.
+type Slot struct {
+	// state is 0 when the slot is free, else the epoch recorded at Pin.
+	// Epochs start at 1 so 0 is unambiguous.
+	state atomic.Uint64
+	// Pad each slot to its own cache line: slots are claimed and released
+	// by unrelated goroutines, and sharing a line would turn every
+	// Pin/Unpin pair into cross-core traffic on its neighbours.
+	_ [56]byte
+}
+
+// New returns a Reclaimer with no registered readers.
+func New() *Reclaimer {
+	r := &Reclaimer{}
+	r.epoch.Store(1)
+	empty := make([]*Slot, 0)
+	r.slots.Store(&empty)
+	return r
+}
+
+// Pin registers the caller as a reader under the current epoch and returns
+// its slot. Every Pin must be paired with Unpin; the protected reads must
+// happen between them.
+func (r *Reclaimer) Pin() *Slot {
+	s := r.claim()
+	for {
+		e := r.epoch.Load()
+		s.state.Store(e)
+		// Re-validate: if the epoch moved between the load and the
+		// publication, a writer may have scanned the slot while it was
+		// still free and concluded the coast was clear. Publishing the
+		// *current* epoch (and re-checking) guarantees that by the time
+		// Pin returns, either the writer saw us, or we entered after its
+		// bump and will only see its republished locations.
+		if r.epoch.Load() == e {
+			return s
+		}
+	}
+}
+
+// Unpin ends the read-side critical section and frees the slot. A nil
+// receiver is a no-op, so callers that only sometimes read under epoch
+// protection can thread a nil Slot through the common path.
+func (s *Slot) Unpin() {
+	if s == nil {
+		return
+	}
+	s.state.Store(0)
+}
+
+// claim finds a free registered slot by CAS, registering a new one only
+// when all are busy.
+func (r *Reclaimer) claim() *Slot {
+	slots := *r.slots.Load()
+	if n := len(slots); n > 0 {
+		start := int(r.seq.Add(1)) % n
+		for i := 0; i < n; i++ {
+			s := slots[(start+i)%n]
+			if s.state.Load() == 0 && s.state.CompareAndSwap(0, claiming) {
+				return s
+			}
+		}
+	}
+	s := &Slot{}
+	s.state.Store(claiming)
+	r.mu.Lock()
+	old := *r.slots.Load()
+	next := make([]*Slot, len(old)+1)
+	copy(next, old)
+	next[len(old)] = s
+	r.slots.Store(&next)
+	r.mu.Unlock()
+	return s
+}
+
+// claiming marks a slot between claim and Pin's epoch publication. It is
+// larger than any real epoch a live process reaches, so Safe treats a
+// just-claimed slot as "entered after every retirement" — correct, because
+// Pin has not yet returned and the claimant cannot have loaded any
+// location.
+const claiming = ^uint64(0)
+
+// Epoch returns the current epoch (informational; useful in tests).
+func (r *Reclaimer) Epoch() uint64 { return r.epoch.Load() }
+
+// Retire advances the epoch and returns the retirement epoch e: memory
+// unreachable since before the call may be recycled once Safe(e) reports
+// true. The caller must have already unpublished every path to that memory
+// (with atomic stores) before calling Retire.
+func (r *Reclaimer) Retire() uint64 {
+	return r.epoch.Add(1) - 1
+}
+
+// Safe reports whether every reader pinned at or before the retirement
+// epoch e has unpinned, i.e. whether memory retired at e may be recycled.
+func (r *Reclaimer) Safe(e uint64) bool {
+	for _, s := range *r.slots.Load() {
+		if st := s.state.Load(); st != 0 && st <= e {
+			return false
+		}
+	}
+	return true
+}
+
+// Readers returns the number of currently pinned readers (informational).
+func (r *Reclaimer) Readers() int {
+	n := 0
+	for _, s := range *r.slots.Load() {
+		if s.state.Load() != 0 {
+			n++
+		}
+	}
+	return n
+}

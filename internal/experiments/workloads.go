@@ -48,7 +48,7 @@ func ValidatePolicy(name string) error {
 
 // PolicyNames lists every buildable policy in evaluation order.
 func PolicyNames() []string {
-	return []string{"baseline", "lfu", "coordl", "shade", "icache-imp", "icache", "spider-imp", "spider"}
+	return []string{"baseline", "lfu", "coordl", "graphaware", "shade", "icache-imp", "icache", "spider-imp", "spider"}
 }
 
 // BuildPolicy constructs a policy by its lowercase registry name.
@@ -61,6 +61,8 @@ func BuildPolicy(name string, p PolicyParams) (policy.Policy, error) {
 		return policy.NewLFU(n, p.Capacity, p.Seed)
 	case "coordl":
 		return policy.NewCoorDL(n, p.Capacity, p.Seed)
+	case "graphaware":
+		return policy.NewGraphAware(n, p.Capacity, p.Seed, labelNeighbors(p.Dataset.Labels, 8))
 	case "shade":
 		return policy.NewShade(n, p.Capacity, p.Seed)
 	case "icache-imp":
@@ -102,6 +104,44 @@ func buildSpider(p PolicyParams, impOnly bool) (*core.SpiderCache, error) {
 	})
 }
 
+// labelNeighbors derives a bounded-degree neighbour function from class
+// labels: each sample's neighbours are the next k members of its class in
+// a deterministic ring. The label graph is the coarsest proxy for the
+// semantic similarity graph SpiderCache builds — samples of one class
+// form a homophilous cluster — which is exactly the structure the
+// graph-aware cache's score propagation exploits.
+func labelNeighbors(labels []int, k int) func(id int) []int {
+	byClass := map[int][]int{}
+	for id, lab := range labels {
+		byClass[lab] = append(byClass[lab], id)
+	}
+	ringPos := make([]int, len(labels))
+	//lint:ignore determinism each id is in exactly one class list, so ringPos is independent of class iteration order
+	for _, members := range byClass {
+		for pos, id := range members {
+			ringPos[id] = pos
+		}
+	}
+	return func(id int) []int {
+		if id < 0 || id >= len(labels) {
+			return nil
+		}
+		members := byClass[labels[id]]
+		deg := k
+		if deg > len(members)-1 {
+			deg = len(members) - 1
+		}
+		if deg <= 0 {
+			return nil
+		}
+		out := make([]int, deg)
+		for j := 0; j < deg; j++ {
+			out[j] = members[(ringPos[id]+1+j)%len(members)]
+		}
+		return out
+	}
+}
+
 // displayName maps registry names to the labels used in the paper's tables.
 func displayName(name string) string {
 	switch name {
@@ -111,6 +151,8 @@ func displayName(name string) string {
 		return "LFU"
 	case "coordl":
 		return "CoorDL"
+	case "graphaware":
+		return "GraphAware"
 	case "shade":
 		return "SHADE"
 	case "icache-imp":

@@ -1,0 +1,249 @@
+package kvserver
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"spidercache/internal/telemetry"
+)
+
+// admission is a TinyLFU admission filter (Einziger et al., the policy
+// behind Caffeine's W-TinyLFU): a frequency sketch decides whether a new
+// key deserves the cache slot the eviction policy would have to free for
+// it. On insert-at-capacity the arriving key's estimated frequency is
+// compared against the eviction victim's; the victim survives unless the
+// newcomer is strictly more popular. Under a skewed (zipfian) mix this
+// keeps one-hit wonders from churning warm residents out, which is exactly
+// where raw LRU bleeds hit rate.
+//
+// Frequencies live in a 4-bit count-min sketch (four rows, counters capped
+// at 15) fronted by a doorkeeper bloom filter: a key's first sighting in
+// the current sample window only sets its doorkeeper bits, so the sketch
+// counts a key from its *second* sighting on and singletons never pollute
+// it. Estimates add the doorkeeper bit back. Once the number of sketched
+// touches reaches sampleCap the window closes: every counter is halved
+// (the "periodic halving" that turns raw counts into an exponentially
+// decayed frequency) and the doorkeeper is cleared.
+//
+// All hot-path operations are lock-free — the GET path touches the sketch
+// outside any shard lock — using CAS loops over the packed counter words;
+// the halving pass takes a mutex only to elect one halver, and concurrent
+// touches during a halve land approximately, which is fine for a structure
+// that is an estimate by construction.
+type admission struct {
+	mask  uint64      // counters-per-row - 1 (power of two)
+	rows  [4][]uint64 // 4-bit counters, 16 per word
+	door  []uint64    // doorkeeper bloom bitset
+	dmask uint64      // doorkeeper bits - 1 (power of two)
+
+	samples   atomic.Int64 // sketched touches since the last halving
+	sampleCap int64
+
+	mu sync.Mutex // elects a single halver
+
+	admitted *telemetry.Counter
+	rejected *telemetry.Counter
+}
+
+// admissionSampleFactor scales the halving window: the sketch decays after
+// seeing ~10 touches per cache slot, the ratio the TinyLFU paper found to
+// balance reactivity against retention.
+const admissionSampleFactor = 10
+
+// newAdmission sizes a filter for a store of capacity items. reg may be
+// nil (no-op instruments). This is the single registration site for the
+// kv_admission_total family.
+func newAdmission(capacity int, reg *telemetry.Registry) *admission {
+	counters := nextPow2(capacity)
+	if counters < 64 {
+		counters = 64
+	}
+	doorBits := nextPow2(capacity * 8)
+	if doorBits < 512 {
+		doorBits = 512
+	}
+	reg.Describe("kv_admission_total", "TinyLFU admission decisions on insert-at-capacity")
+	a := &admission{
+		mask:      uint64(counters - 1),
+		dmask:     uint64(doorBits - 1),
+		door:      make([]uint64, doorBits/64),
+		sampleCap: int64(capacity) * admissionSampleFactor,
+		admitted:  reg.Counter("kv_admission_total", telemetry.Labels{"result": "admit"}),
+		rejected:  reg.Counter("kv_admission_total", telemetry.Labels{"result": "reject"}),
+	}
+	for i := range a.rows {
+		a.rows[i] = make([]uint64, counters/16)
+	}
+	return a
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// fnv1a64 is the 64-bit FNV-1a hash, the sketch's key hash (the store's
+// 32-bit shard hash is too narrow to derive four independent rows from).
+func fnv1a64(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+func fnv1a64String(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix remixes h into the i-th row's index stream (splitmix64 finalizer,
+// seeded per row so the four rows hash independently).
+func mix(h, seed uint64) uint64 {
+	h += seed * 0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// touch records one access to the key hashed h. Lock-free; called from the
+// GET path outside any shard lock.
+func (a *admission) touch(h uint64) {
+	if a == nil {
+		return
+	}
+	if a.doorAdd(h) {
+		// First sighting this window: the doorkeeper absorbs it.
+		return
+	}
+	for i := range a.rows {
+		a.inc(i, mix(h, uint64(i)+1)&a.mask)
+	}
+	if a.samples.Add(1) >= a.sampleCap {
+		a.halve()
+	}
+}
+
+// estimate returns the decayed frequency estimate for h.
+func (a *admission) estimate(h uint64) uint64 {
+	est := ^uint64(0)
+	for i := range a.rows {
+		if c := a.counter(i, mix(h, uint64(i)+1)&a.mask); c < est {
+			est = c
+		}
+	}
+	if a.doorHas(h) {
+		est++
+	}
+	return est
+}
+
+// admit decides whether a new key (hash h) may displace the eviction
+// victim (hash victim), and counts the decision.
+func (a *admission) admit(h, victim uint64) bool {
+	if a.estimate(h) > a.estimate(victim) {
+		a.admitted.Inc()
+		return true
+	}
+	a.rejected.Inc()
+	return false
+}
+
+// counter reads the 4-bit counter at idx of row i.
+func (a *admission) counter(i int, idx uint64) uint64 {
+	w := atomic.LoadUint64(&a.rows[i][idx/16])
+	return (w >> ((idx % 16) * 4)) & 0xF
+}
+
+// inc increments the 4-bit counter at idx of row i, saturating at 15.
+func (a *admission) inc(i int, idx uint64) {
+	word, shift := idx/16, (idx%16)*4
+	for {
+		old := atomic.LoadUint64(&a.rows[i][word])
+		if (old>>shift)&0xF == 0xF {
+			return // saturated; halving will make room
+		}
+		if atomic.CompareAndSwapUint64(&a.rows[i][word], old, old+1<<shift) {
+			return
+		}
+	}
+}
+
+// halveMask clears the high bit of each nibble after a right shift, so a
+// whole word of 4-bit counters halves in one operation.
+const halveMask = 0x7777777777777777
+
+// halve closes the sample window: all counters are halved and the
+// doorkeeper forgets. Concurrent touches may lose an increment to the
+// store-after-shift — acceptable for an estimator.
+func (a *admission) halve() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.samples.Load() < a.sampleCap {
+		return // another goroutine already halved
+	}
+	for i := range a.rows {
+		row := a.rows[i]
+		for w := range row {
+			for {
+				old := atomic.LoadUint64(&row[w])
+				if atomic.CompareAndSwapUint64(&row[w], old, (old>>1)&halveMask) {
+					break
+				}
+			}
+		}
+	}
+	for w := range a.door {
+		atomic.StoreUint64(&a.door[w], 0)
+	}
+	a.samples.Store(0)
+}
+
+// doorAdd sets h's doorkeeper bits, reporting true when at least one was
+// previously clear (a first sighting this window).
+func (a *admission) doorAdd(h uint64) bool {
+	fresh := false
+	for _, b := range [2]uint64{mix(h, 7) & a.dmask, mix(h, 11) & a.dmask} {
+		word, bit := b/64, uint64(1)<<(b%64)
+		for {
+			old := atomic.LoadUint64(&a.door[word])
+			if old&bit != 0 {
+				break
+			}
+			fresh = true
+			if atomic.CompareAndSwapUint64(&a.door[word], old, old|bit) {
+				break
+			}
+		}
+	}
+	return fresh
+}
+
+// doorHas reports whether both of h's doorkeeper bits are set.
+func (a *admission) doorHas(h uint64) bool {
+	for _, b := range [2]uint64{mix(h, 7) & a.dmask, mix(h, 11) & a.dmask} {
+		if atomic.LoadUint64(&a.door[b/64])&(uint64(1)<<(b%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,705 @@
+package kvserver
+
+import (
+	"bytes"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"spidercache/internal/epoch"
+	"spidercache/internal/telemetry"
+)
+
+// arenaStore is the GC-free, lock-free-read implementation of the store
+// interface. It differs from mutexStore in three coordinated ways.
+//
+// Memory: a resident key costs ZERO dedicated heap objects. Payload bytes
+// live in large []byte chunks (64KiB, or span-sized for oversized values)
+// that each shard bump-allocates from; every value is stored as one span
+// [klen₂][key][value] and addressed by a packed chunk-id/offset/length
+// word — the offset table. The index maps the key's 64-bit hash to a slot
+// in a segmented entry slab (map[uint64]uint32 and []aentry segments are
+// both pointer-free, so the collector never scans them), and the key
+// bytes inside the span disambiguate the ~never case of a 64-bit hash
+// collision: a colliding insert displaces the previous key (cache
+// semantics allow it), and a lookup whose span key mismatches is a miss —
+// wrong bytes can never be returned. Where the mutex store holds two
+// scannable heap objects per key (list node + value slice) plus a
+// string-keyed map, the whole arena shard is a handful of pointerless
+// buffers: GC mark cost goes from O(keys) to O(chunks). Overwrites and
+// deletes don't free anything — they mark the old span dead in its chunk;
+// when a shard's dead bytes exceed both a floor and half its arena, the
+// shard compacts: live spans are copied into fresh chunks and the old
+// chunks retired.
+//
+// Reads: GET never takes the shard mutex. Each shard publishes a
+// read-only snapshot of its hash index through an atomic pointer; readers
+// look the hash up there, load the slot's location word, and resolve it
+// through the shard's atomically-published chunk table. Location words
+// are loaded BEFORE the chunk table: sequential consistency then
+// guarantees the table observed contains every chunk any observed
+// location can name. Chunk memory recycled after compaction is guarded by
+// epoch-based reclamation (internal/epoch): the server pins an epoch slot
+// around each GET's read-and-reply window, and a retired chunk's bytes
+// and table slot are only reused once no reader pinned at or before its
+// retirement remains — see the epoch package comment for the full safety
+// argument. Anything the fast path cannot positively confirm — hash
+// absent from the snapshot, tombstoned slot, span key mismatch — diverts
+// to a mutex slow path against the authoritative index, so reads are
+// always current; the snapshot is republished after enough index changes
+// accumulate.
+//
+// Eviction: lock-free readers can't maintain an intrusive LRU list, so
+// each slot carries an atomic recency stamp (a shard clock bumped on
+// every write) and eviction samples K random slots and takes the stalest
+// — the approximation Redis uses for allkeys-lru. The TinyLFU admission
+// filter (admission.go) applies in front exactly as in mutex mode.
+//
+// Writers (SET/DEL/compaction) still serialise on the shard mutex.
+type arenaStore struct {
+	shards      []*arenaShard
+	stats_      []shardStat // contiguous padded per-shard counters
+	mask        uint64
+	adm         *admission // nil: admit everything
+	rec         *epoch.Reclaimer
+	deadG       *telemetry.Gauge
+	compactions *telemetry.Counter
+}
+
+const (
+	// arenaChunkSize is the standard chunk; spans larger than this get a
+	// dedicated chunk of their exact size.
+	arenaChunkSize = 64 << 10
+	// arenaCompactMinDead is the dead-bytes floor below which a shard never
+	// compacts, so small or write-light shards don't churn.
+	arenaCompactMinDead = 256 << 10
+	// arenaFreeChunks caps the retired standard chunks a shard keeps for
+	// epoch-gated reuse; the rest are dropped to the GC once their table
+	// slot can be safely cleared.
+	arenaFreeChunks = 4
+	// arenaSampleK is the eviction sample width. 5 gives sampled-LRU a
+	// stale-victim quality close to exact LRU on zipfian mixes.
+	arenaSampleK = 5
+	// arenaSpanHeader is the per-span key-length prefix (two bytes,
+	// little-endian; MaxKeyLen fits comfortably).
+	arenaSpanHeader = 2
+	// arenaSegBits sizes an entry-slab segment (1<<arenaSegBits slots).
+	// Segments are allocated on demand and never move, so a published
+	// slot index stays dereferenceable forever.
+	arenaSegBits = 10
+)
+
+// A location word packs (chunk id, byte offset, span length) plus a
+// presence flag into one uint64, so a whole offset-table row updates with
+// a single atomic store:
+//
+//	bit 63     locPresent (0 means tombstone / empty slot)
+//	bits 44-62 chunk id    (locIdxBits wide)
+//	bits 27-43 byte offset (locOffBits wide; 0 for dedicated chunks)
+//	bits  0-26 span length (locLenBits wide; covers MaxValueSize + key)
+//
+// Chunk ids index the shard's published chunk table. Ids are recycled
+// with their chunks (epoch-gated), so the table size tracks the live
+// chunk count; exhausting the 19-bit id space would take ~32GiB of live
+// 64KiB chunks in ONE shard.
+const (
+	locLenBits = 27
+	locOffBits = 17
+	locIdxBits = 63 - locLenBits - locOffBits
+	locPresent = uint64(1) << 63
+)
+
+func packLoc(id, off, n int) uint64 {
+	return locPresent | uint64(id)<<(locOffBits+locLenBits) | uint64(off)<<locLenBits | uint64(n)
+}
+
+// achunk is one arena chunk. All fields are guarded by the owning shard's
+// mutex; the bytes of buf are immutable from first publication until the
+// chunk is retired AND its retirement epoch is Safe.
+type achunk struct {
+	buf       []byte
+	id        int // slot in the shard's chunk table
+	used      int
+	dead      int
+	retiredAt uint64
+}
+
+// aentry is one slot of the segmented entry slab — a row of the offset
+// table. It is deliberately pointer-free. Slot lifecycle (hash/listPos
+// fields, free-slot membership) is guarded by the shard mutex; loc and
+// stamp are atomics because the lock-free read path loads them through
+// published snapshots, including stale ones: an overwrite (loc.Store) is
+// visible through any snapshot instantly, only index-shape changes
+// (insert, delete, evict) wait for a republish.
+type aentry struct {
+	loc     atomic.Uint64 // packed span location; 0 = tombstone
+	stamp   atomic.Int64  // recency clock at last touch
+	hash    uint64        // key hash owning this slot
+	listPos uint32        // position in shard.list
+	_       uint32
+}
+
+// freeSlot records a chunk-table slot whose chunk was dropped (not queued
+// for byte reuse) at retirement epoch at; the slot may be reassigned once
+// that epoch is Safe.
+type freeSlot struct {
+	id int
+	at uint64
+}
+
+type arenaShard struct {
+	mu       sync.Mutex
+	capacity int
+	rec      *epoch.Reclaimer
+
+	entries   map[uint64]uint32 // authoritative index: hash -> slot+1; guarded by mu
+	list      []uint32          // live slots, for eviction sampling; guarded by mu
+	freeSlots []uint32          // unoccupied slab slots; guarded by mu
+	nextSlot  uint32            // first never-used slab slot; guarded by mu
+	dirty     int               // index-shape changes since the last publish
+
+	snap atomic.Pointer[map[uint64]uint32] // read-only published index
+	segs atomic.Pointer[[][]aentry]        // slot/1024 -> segment; copy-on-write growth
+	tab  atomic.Pointer[[]*achunk]         // chunk id -> chunk; copy-on-write
+
+	chunks  []*achunk  // in-use chunks
+	active  *achunk    // bump-allocation target
+	free    []*achunk  // retired chunks awaiting a Safe epoch for byte reuse
+	freeIds []freeSlot // table slots of dropped chunks awaiting Safe
+	total   int        // bytes across in-use chunks
+	dead    int        // dead bytes across in-use chunks
+
+	clock atomic.Int64 // recency clock (see aentry.stamp)
+
+	rng          uint64 // xorshift state for eviction sampling; guarded by mu
+	bytesG       *telemetry.Gauge
+	deadReported int // portion of dead already folded into the aggregate gauge
+}
+
+// newArenaTelemetry is the single registration site for the three
+// kv_arena_* families.
+func newArenaTelemetry(reg *telemetry.Registry, shards int) ([]*telemetry.Gauge, *telemetry.Gauge, *telemetry.Counter) {
+	reg.Describe("kv_arena_bytes", "arena bytes held per shard (live + dead)")
+	reg.Describe("kv_arena_dead_bytes", "dead (overwritten/deleted/evicted) arena bytes awaiting compaction")
+	reg.Describe("kv_arena_compactions_total", "arena compaction passes")
+	bytesG := make([]*telemetry.Gauge, shards)
+	for i := range bytesG {
+		bytesG[i] = reg.Gauge("kv_arena_bytes", telemetry.Labels{"shard": strconv.Itoa(i)})
+	}
+	return bytesG, reg.Gauge("kv_arena_dead_bytes", nil), reg.Counter("kv_arena_compactions_total", nil)
+}
+
+// newArenaStore builds an arena store. adm and reg may be nil.
+func newArenaStore(capacity, shards int, adm *admission, reg *telemetry.Registry) *arenaStore {
+	caps := shardCaps(capacity, shards)
+	bytesG, deadG, compactions := newArenaTelemetry(reg, len(caps))
+	s := &arenaStore{
+		shards:      make([]*arenaShard, len(caps)),
+		stats_:      make([]shardStat, len(caps)),
+		mask:        uint64(len(caps) - 1),
+		adm:         adm,
+		rec:         epoch.New(),
+		deadG:       deadG,
+		compactions: compactions,
+	}
+	for i, c := range caps {
+		sh := &arenaShard{
+			capacity: c,
+			rec:      s.rec,
+			entries:  make(map[uint64]uint32, c),
+			rng:      uint64(i)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D,
+			bytesG:   bytesG[i],
+		}
+		tab := make([]*achunk, 0)
+		sh.tab.Store(&tab)
+		segs := make([][]aentry, 0)
+		sh.segs.Store(&segs)
+		s.shards[i] = sh
+	}
+	return s
+}
+
+var _ store = (*arenaStore)(nil)
+
+// entryAt returns the slab entry for slot. Safe both under the shard
+// mutex and from the lock-free read path: segments never move, and the
+// copy-on-write segment list is published before any slot inside a new
+// segment is.
+func (sh *arenaShard) entryAt(slot uint32) *aentry {
+	return &(*sh.segs.Load())[slot>>arenaSegBits][slot&(1<<arenaSegBits-1)]
+}
+
+// grabSlot returns an unoccupied slab slot, growing the slab by one
+// segment if every allocated slot is live. Caller holds sh.mu.
+func (sh *arenaShard) grabSlot() uint32 {
+	if n := len(sh.freeSlots); n > 0 {
+		slot := sh.freeSlots[n-1]
+		sh.freeSlots = sh.freeSlots[:n-1]
+		return slot
+	}
+	segs := *sh.segs.Load()
+	if int(sh.nextSlot)>>arenaSegBits >= len(segs) {
+		next := make([][]aentry, len(segs)+1)
+		copy(next, segs)
+		next[len(segs)] = make([]aentry, 1<<arenaSegBits)
+		sh.segs.Store(&next)
+	}
+	slot := sh.nextSlot
+	sh.nextSlot++
+	return slot
+}
+
+// touchAt refreshes e's recency stamp to the shard's current clock. The
+// clock only advances on writes, so reads never contend on a shared
+// counter line — a hot key read repeatedly in one write window skips even
+// its own stamp store. The cost is write-window (rather than per-access)
+// recency granularity, which is as fine as sampled eviction can exploit:
+// eviction only runs on writes, and any key touched since the last write
+// already carries the maximum stamp a victim comparison can see.
+func (e *aentry) touchAt(sh *arenaShard) {
+	if c := sh.clock.Load(); e.stamp.Load() != c {
+		e.stamp.Store(c)
+	}
+}
+
+// resolve turns a location word into its span bytes. loc must have been
+// loaded BEFORE this call loads the chunk table: by sequential
+// consistency the table is then at least as new as the location, so
+// every id a loaded location can name is populated. Callers must hold
+// either an epoch pin or the shard mutex.
+func (sh *arenaShard) resolve(loc uint64) ([]byte, bool) {
+	if loc == 0 {
+		return nil, false
+	}
+	n := int(loc & (1<<locLenBits - 1))
+	off := int(loc >> locLenBits & (1<<locOffBits - 1))
+	ck := (*sh.tab.Load())[loc>>(locOffBits+locLenBits)&(1<<locIdxBits-1)]
+	return ck.buf[off : off+n : off+n], true
+}
+
+// spanKey and spanVal split a span ([klen₂][key][value]) without copying.
+func spanKey(span []byte) []byte {
+	return span[arenaSpanHeader : arenaSpanHeader+int(span[0])|int(span[1])<<8]
+}
+
+func spanVal(span []byte) []byte {
+	return span[arenaSpanHeader+int(span[0])|int(span[1])<<8:]
+}
+
+// pin opens the epoch critical section protecting returned value bytes.
+func (s *arenaStore) pin() *epoch.Slot { return s.rec.Pin() }
+
+func (s *arenaStore) get(key string) ([]byte, bool) {
+	h := fnv1a64String(key)
+	if s.adm != nil {
+		s.adm.touch(h)
+	}
+	i := int(h & s.mask)
+	sh := s.shards[i]
+	if m := sh.snap.Load(); m != nil {
+		if ip, ok := (*m)[h]; ok {
+			e := sh.entryAt(ip - 1)
+			if span, live := sh.resolve(e.loc.Load()); live && string(spanKey(span)) == key {
+				e.touchAt(sh)
+				s.stats_[i].hits.Add(1)
+				return spanVal(span), true
+			}
+		}
+	}
+	// Anything short of a confirmed live hit — hash absent from the
+	// snapshot, tombstone, displaced slot — consults the authoritative
+	// index.
+	sh.mu.Lock()
+	var v []byte
+	live := false
+	if ip, ok := sh.entries[h]; ok {
+		e := sh.entryAt(ip - 1)
+		if span, ok := sh.resolve(e.loc.Load()); ok && string(spanKey(span)) == key {
+			v, live = spanVal(span), true
+			e.touchAt(sh)
+		}
+	}
+	sh.mu.Unlock()
+	if !live {
+		s.stats_[i].misses.Add(1)
+		return nil, false
+	}
+	s.stats_[i].hits.Add(1)
+	return v, true
+}
+
+// getBytes is the zero-allocation GET path; identical to get modulo the
+// key type (bytes.Equal and string(span)==key both avoid allocating).
+func (s *arenaStore) getBytes(key []byte) ([]byte, bool) {
+	h := fnv1a64(key)
+	if s.adm != nil {
+		s.adm.touch(h)
+	}
+	i := int(h & s.mask)
+	sh := s.shards[i]
+	if m := sh.snap.Load(); m != nil {
+		if ip, ok := (*m)[h]; ok {
+			e := sh.entryAt(ip - 1)
+			if span, live := sh.resolve(e.loc.Load()); live && bytes.Equal(spanKey(span), key) {
+				e.touchAt(sh)
+				s.stats_[i].hits.Add(1)
+				return spanVal(span), true
+			}
+		}
+	}
+	sh.mu.Lock()
+	var v []byte
+	live := false
+	if ip, ok := sh.entries[h]; ok {
+		e := sh.entryAt(ip - 1)
+		if span, ok := sh.resolve(e.loc.Load()); ok && bytes.Equal(spanKey(span), key) {
+			v, live = spanVal(span), true
+			e.touchAt(sh)
+		}
+	}
+	sh.mu.Unlock()
+	if !live {
+		s.stats_[i].misses.Add(1)
+		return nil, false
+	}
+	s.stats_[i].hits.Add(1)
+	return v, true
+}
+
+// peek returns a copy: its callers (migration) hold no pin, and a live
+// arena slice could be recycled under them after compaction.
+func (s *arenaStore) peek(key string) ([]byte, bool) {
+	h := fnv1a64String(key)
+	sh := s.shards[h&s.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ip, ok := sh.entries[h]
+	if !ok {
+		return nil, false
+	}
+	span, live := sh.resolve(sh.entryAt(ip - 1).loc.Load())
+	if !live || string(spanKey(span)) != key {
+		return nil, false
+	}
+	return append([]byte(nil), spanVal(span)...), true
+}
+
+// keys materialises every resident key from its span bytes.
+func (s *arenaStore) keys() []string {
+	out := make([]string, 0, 256)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, slot := range sh.list {
+			if span, live := sh.resolve(sh.entryAt(slot).loc.Load()); live {
+				out = append(out, string(spanKey(span)))
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+func (s *arenaStore) set(key string, value []byte) {
+	h := fnv1a64String(key)
+	if s.adm != nil {
+		s.adm.touch(h)
+	}
+	sh := s.shards[h&s.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ip, ok := sh.entries[h]; ok {
+		// Overwrite — of this key, or (vanishingly rare 64-bit collision)
+		// displacement of another key owning the same hash; either way the
+		// slot's span is replaced whole.
+		e := sh.entryAt(ip - 1)
+		old := e.loc.Load()
+		e.loc.Store(sh.alloc(key, value))
+		sh.kill(old)
+		e.stamp.Store(sh.clock.Add(1))
+	} else {
+		if len(sh.entries) >= sh.capacity {
+			if vs := sh.sampleVictim(); vs >= 0 {
+				if s.adm != nil && !s.adm.admit(h, sh.entryAt(uint32(vs)).hash) {
+					// Rejected: the touch above still credited the key, so a
+					// key that keeps arriving eventually earns admission.
+					return
+				}
+				sh.drop(uint32(vs))
+			}
+		}
+		slot := sh.grabSlot()
+		e := sh.entryAt(slot)
+		e.hash = h
+		e.listPos = uint32(len(sh.list))
+		e.loc.Store(sh.alloc(key, value))
+		e.stamp.Store(sh.clock.Add(1))
+		sh.list = append(sh.list, slot)
+		sh.entries[h] = slot + 1
+		sh.dirty++
+		sh.maybePublish()
+	}
+	sh.maybeCompact(s)
+	sh.refreshGauges(s)
+}
+
+func (s *arenaStore) del(key string) bool {
+	h := fnv1a64String(key)
+	sh := s.shards[h&s.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ip, ok := sh.entries[h]
+	if !ok {
+		return false
+	}
+	e := sh.entryAt(ip - 1)
+	if span, live := sh.resolve(e.loc.Load()); !live || string(spanKey(span)) != key {
+		return false // hash present but owned by a colliding key
+	}
+	sh.drop(ip - 1)
+	sh.maybePublish()
+	sh.maybeCompact(s)
+	sh.refreshGauges(s)
+	return true
+}
+
+func (s *arenaStore) stats() (items int, hits, misses int64) {
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		items += len(sh.entries)
+		sh.mu.Unlock()
+		hits += s.stats_[i].hits.Load()
+		misses += s.stats_[i].misses.Load()
+	}
+	return items, hits, misses
+}
+
+func (s *arenaStore) shardStats(i int) (items int, hits, misses int64, capacity int) {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.entries), s.stats_[i].hits.Load(), s.stats_[i].misses.Load(), sh.capacity
+}
+
+func (s *arenaStore) numShards() int { return len(s.shards) }
+
+// alloc reserves arena space for key+value, writes the span in place, and
+// returns its packed location. Caller holds sh.mu.
+func (sh *arenaShard) alloc(key string, value []byte) uint64 {
+	span, loc := sh.reserve(arenaSpanHeader + len(key) + len(value))
+	span[0] = byte(len(key))
+	span[1] = byte(len(key) >> 8)
+	copy(span[arenaSpanHeader:], key)
+	copy(span[arenaSpanHeader+len(key):], value)
+	return loc
+}
+
+// allocSpan copies a whole prebuilt span (compaction's path). Caller
+// holds sh.mu.
+func (sh *arenaShard) allocSpan(span []byte) uint64 {
+	dst, loc := sh.reserve(len(span))
+	copy(dst, span)
+	return loc
+}
+
+// reserve carves n bytes out of the arena and returns the in-place span
+// buffer plus its packed location (split so alloc/allocSpan can fill the
+// bytes without an intermediate buffer). Caller holds sh.mu.
+func (sh *arenaShard) reserve(n int) ([]byte, uint64) {
+	if n > arenaChunkSize {
+		ck := &achunk{buf: make([]byte, n), used: n}
+		sh.mount(ck)
+		return ck.buf, packLoc(ck.id, 0, n)
+	}
+	if sh.active == nil || len(sh.active.buf)-sh.active.used < n {
+		if ck := sh.reuseChunk(); ck != nil {
+			sh.active = ck
+			sh.chunks = append(sh.chunks, ck)
+			sh.total += len(ck.buf)
+		} else {
+			sh.active = &achunk{buf: make([]byte, arenaChunkSize)}
+			sh.mount(sh.active)
+		}
+	}
+	ck := sh.active
+	off := ck.used
+	ck.used += n
+	return ck.buf[off : off+n : off+n], packLoc(ck.id, off, n)
+}
+
+// mount registers a brand-new chunk: it takes over a Safe dropped slot if
+// one exists (republishing the table in place), else appends a new slot.
+// Caller holds sh.mu.
+func (sh *arenaShard) mount(ck *achunk) {
+	tab := *sh.tab.Load()
+	slot := -1
+	for i, fs := range sh.freeIds {
+		if sh.rec.Safe(fs.at) {
+			slot = fs.id
+			sh.freeIds = append(sh.freeIds[:i], sh.freeIds[i+1:]...)
+			break
+		}
+	}
+	var next []*achunk
+	if slot >= 0 {
+		ck.id = slot
+		next = make([]*achunk, len(tab))
+		copy(next, tab)
+		next[slot] = ck
+	} else {
+		ck.id = len(tab)
+		next = make([]*achunk, len(tab)+1)
+		copy(next, tab)
+		next[ck.id] = ck
+	}
+	sh.tab.Store(&next)
+	sh.chunks = append(sh.chunks, ck)
+	sh.total += len(ck.buf)
+}
+
+// reuseChunk returns a retired standard chunk whose grace period has
+// elapsed, or nil. A reused chunk keeps its table slot: the chunk object
+// (and id) are unchanged, only its bytes get rewritten — legal because no
+// reader that could still hold a location into it remains. Caller holds
+// sh.mu.
+func (sh *arenaShard) reuseChunk() *achunk {
+	for i, ck := range sh.free {
+		if sh.rec.Safe(ck.retiredAt) {
+			sh.free = append(sh.free[:i], sh.free[i+1:]...)
+			ck.used, ck.dead, ck.retiredAt = 0, 0, 0
+			return ck
+		}
+	}
+	return nil
+}
+
+// kill marks a superseded span's bytes dead. Caller holds sh.mu.
+func (sh *arenaShard) kill(loc uint64) {
+	if loc == 0 {
+		return
+	}
+	n := int(loc & (1<<locLenBits - 1))
+	ck := (*sh.tab.Load())[loc>>(locOffBits+locLenBits)&(1<<locIdxBits-1)]
+	ck.dead += n
+	sh.dead += n
+}
+
+// drop removes the entry in slot (delete or eviction). The tombstone
+// store makes stale-snapshot readers divert to the authoritative index,
+// where the hash is already gone; the slot may be reassigned to a
+// different key immediately — readers catch that via the span key check.
+// Caller holds sh.mu.
+func (sh *arenaShard) drop(slot uint32) {
+	e := sh.entryAt(slot)
+	old := e.loc.Load()
+	e.loc.Store(0)
+	sh.kill(old)
+	delete(sh.entries, e.hash)
+	last := len(sh.list) - 1
+	moved := sh.list[last]
+	sh.list[e.listPos] = moved
+	sh.entryAt(moved).listPos = e.listPos
+	sh.list = sh.list[:last]
+	sh.freeSlots = append(sh.freeSlots, slot)
+	sh.dirty++
+}
+
+// sampleVictim picks the stalest of arenaSampleK random live slots,
+// returning its slab slot, or -1 if the shard is empty. Caller holds
+// sh.mu.
+func (sh *arenaShard) sampleVictim() int {
+	n := len(sh.list)
+	if n == 0 {
+		return -1
+	}
+	best := -1
+	var bestStamp int64
+	k := arenaSampleK
+	if k > n {
+		k = n
+	}
+	for j := 0; j < k; j++ {
+		sh.rng ^= sh.rng << 13
+		sh.rng ^= sh.rng >> 7
+		sh.rng ^= sh.rng << 17
+		slot := sh.list[sh.rng%uint64(n)]
+		if st := sh.entryAt(slot).stamp.Load(); best < 0 || st < bestStamp {
+			best, bestStamp = int(slot), st
+		}
+	}
+	return best
+}
+
+// maybePublish republishes the snapshot once enough index-shape changes
+// have accumulated: at a quarter of the resident set (amortising the
+// copy) with an absolute floor that keeps small shards instantly visible.
+// Caller holds sh.mu.
+func (sh *arenaShard) maybePublish() {
+	if sh.dirty*4 >= len(sh.entries) || sh.dirty >= 64 {
+		sh.publish()
+	}
+}
+
+func (sh *arenaShard) publish() {
+	m := make(map[uint64]uint32, len(sh.entries))
+	for h, ip := range sh.entries {
+		m[h] = ip
+	}
+	sh.snap.Store(&m)
+	sh.dirty = 0
+}
+
+// maybeCompact compacts when dead bytes clear the floor AND make up at
+// least half the arena, bounding both churn and worst-case waste (steady
+// state: live bytes <= arena <= 2x live + floor). Caller holds sh.mu.
+func (sh *arenaShard) maybeCompact(s *arenaStore) {
+	if sh.dead < arenaCompactMinDead || sh.dead*2 < sh.total {
+		return
+	}
+	sh.compact(s)
+}
+
+// compact copies every live span into fresh chunks, republishes each
+// slot's location, and retires the old chunks at a new epoch. Standard-
+// size chunks queue for byte reuse once the grace period elapses; the
+// rest hold their table slot until a later mount observes the slot Safe
+// and reassigns it (a dropped chunk must stay reachable through the
+// table as long as a pre-retirement reader could resolve into it).
+// Caller holds sh.mu.
+func (sh *arenaShard) compact(s *arenaStore) {
+	old := sh.chunks
+	sh.chunks = nil
+	sh.active = nil
+	sh.total = 0
+	sh.dead = 0
+	for _, slot := range sh.list {
+		e := sh.entryAt(slot)
+		span, live := sh.resolve(e.loc.Load())
+		if !live {
+			continue
+		}
+		e.loc.Store(sh.allocSpan(span))
+	}
+	// Every live location now points into the new chunks; readers that
+	// pin after this retirement can only see those. Readers pinned before
+	// it may still hold old-chunk bytes, so reuse waits for Safe.
+	at := sh.rec.Retire()
+	for _, ck := range old {
+		ck.retiredAt = at
+		if len(ck.buf) == arenaChunkSize && len(sh.free) < arenaFreeChunks {
+			sh.free = append(sh.free, ck)
+		} else {
+			sh.freeIds = append(sh.freeIds, freeSlot{id: ck.id, at: at})
+		}
+	}
+	s.compactions.Inc()
+}
+
+// refreshGauges folds this shard's arena accounting into the exported
+// gauges. Caller holds sh.mu.
+func (sh *arenaShard) refreshGauges(s *arenaStore) {
+	sh.bytesG.Set(float64(sh.total))
+	if d := sh.dead - sh.deadReported; d != 0 {
+		s.deadG.Add(float64(d))
+		sh.deadReported = sh.dead
+	}
+}

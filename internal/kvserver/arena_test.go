@@ -1,0 +1,481 @@
+package kvserver
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"spidercache/internal/telemetry"
+	"spidercache/internal/xrand"
+)
+
+// newTestArena builds an arena store without admission. It gets a private
+// registry (not nil) so counter assertions see only this store's activity —
+// nil-registry instruments all share one no-op counter.
+func newTestArena(capacity, shards int) *arenaStore {
+	return newArenaStore(capacity, shards, nil, telemetry.NewRegistry())
+}
+
+// TestStoreModeEquivalence replays one deterministic mixed op sequence
+// against both store implementations at a capacity no workload reaches, so
+// eviction (where the two legitimately differ: exact vs sampled LRU) never
+// fires — every GET must then return bitwise-identical results.
+func TestStoreModeEquivalence(t *testing.T) {
+	mutex := newStoreShards(1<<16, 8)
+	arena := newTestArena(1<<16, 8)
+	rng := xrand.New(42)
+	key := func(i int) string { return fmt.Sprintf("eq-key-%d", i) }
+	for op := 0; op < 20000; op++ {
+		k := key(rng.Intn(700))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			n := rng.Intn(300)
+			v := make([]byte, n)
+			for j := range v {
+				v[j] = byte(rng.Uint64())
+			}
+			mutex.set(k, v)
+			arena.set(k, v)
+		case 4:
+			if mutex.del(k) != arena.del(k) {
+				t.Fatalf("op %d: del(%q) diverged", op, k)
+			}
+		default:
+			mv, mok := mutex.get(k)
+			pin := arena.pin()
+			av, aok := arena.get(k)
+			if mok != aok || !bytes.Equal(mv, av) {
+				t.Fatalf("op %d: get(%q) diverged: mutex (%v, %d bytes) arena (%v, %d bytes)",
+					op, k, mok, len(mv), aok, len(av))
+			}
+			pin.Unpin()
+		}
+	}
+	mi, _, _ := mutex.stats()
+	ai, _, _ := arena.stats()
+	if mi != ai {
+		t.Fatalf("resident items diverged: mutex %d, arena %d", mi, ai)
+	}
+	for _, k := range mutex.keys() {
+		mv, _ := mutex.peek(k)
+		av, ok := arena.peek(k)
+		if !ok || !bytes.Equal(mv, av) {
+			t.Fatalf("peek(%q) diverged after replay", k)
+		}
+	}
+}
+
+// TestArenaRaceStress runs pinned lock-free readers against overwriting
+// writers and deleters on a single-shard store sized so compaction (and
+// chunk reuse) fires many times. Values are uniform-fill and fixed-length,
+// so any torn read — bytes recycled under a pinned reader — is detected
+// directly, and under -race the detector cross-checks the epoch
+// happens-before edges.
+func TestArenaRaceStress(t *testing.T) {
+	const (
+		keys    = 32
+		valSize = 8 << 10
+		writes  = 1500
+	)
+	st := newTestArena(keys*2, 1)
+	key := func(i int) string { return fmt.Sprintf("rs-%d", i) }
+	fill := func(seed byte) []byte {
+		v := make([]byte, valSize)
+		for i := range v {
+			v[i] = seed
+		}
+		return v
+	}
+	for i := 0; i < keys; i++ {
+		st.set(key(i), fill(byte(i+1)))
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	fail := make(chan string, 16)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := g
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pin := st.pin()
+				v, ok := st.get(key(i % keys))
+				if ok {
+					if len(v) != valSize {
+						select {
+						case fail <- fmt.Sprintf("reader got %d bytes, want %d", len(v), valSize):
+						default:
+						}
+					}
+					b := v[0]
+					for j := 0; j < len(v); j += 97 {
+						if v[j] != b {
+							select {
+							case fail <- fmt.Sprintf("torn read at offset %d: %d != %d", j, v[j], b):
+							default:
+							}
+							break
+						}
+					}
+				}
+				pin.Unpin()
+				i++
+			}
+		}(g)
+	}
+	for w := 0; w < writes; w++ {
+		k := key(w % keys)
+		switch w % 7 {
+		case 6:
+			st.del(k)
+		default:
+			st.set(k, fill(byte(w%251+1)))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+	if got := st.compactions.Value(); got == 0 {
+		t.Fatalf("stress never compacted (dead=%d total=%d): thresholds wrong for this workload",
+			st.shards[0].dead, st.shards[0].total)
+	}
+}
+
+// TestServerRaceStressArena is TestServerRaceStress over the arena +
+// tinylfu plane: the full wire path (pipelines, batches) against the
+// lock-free store under -race.
+func TestServerRaceStressArena(t *testing.T) {
+	srv, err := ServeWith("127.0.0.1:0", Options{
+		Capacity: 512, Shards: 8, Mode: StoreModeArena, Admission: AdmissionTinyLFU,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	const conns = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for g := 0; g < conns; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i%40)
+				switch i % 5 {
+				case 0:
+					if err := c.Set(key, []byte("v")); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					if _, _, err := c.Get(key); err != nil {
+						errs <- err
+						return
+					}
+				case 2:
+					if _, err := c.Del(key); err != nil {
+						errs <- err
+						return
+					}
+				case 3:
+					if err := c.MSet([]string{key + "a", key + "b"}, [][]byte{{1}, {2}}); err != nil {
+						errs <- err
+						return
+					}
+				case 4:
+					p := c.Pipeline()
+					p.Set(key, []byte("p"))
+					p.Get(key)
+					p.Del(key)
+					if _, err := p.Exec(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if items, _, _ := srv.Stats(); items > 512 {
+		t.Fatalf("capacity breached: %d items", items)
+	}
+}
+
+// TestArenaCompaction drives overwrites until compaction fires, then
+// verifies every live value survived bitwise, the dead-byte ledger reset,
+// and retired chunks were recycled rather than reallocated.
+func TestArenaCompaction(t *testing.T) {
+	st := newTestArena(64, 1)
+	sh := st.shards[0]
+	val := func(k, gen int) []byte {
+		return bytes.Repeat([]byte{byte(k + 1), byte(gen)}, 2<<10)
+	}
+	const keys = 16
+	gens := make([]int, keys)
+	for gen := 0; sh.dead < 3*arenaCompactMinDead; gen++ {
+		for k := 0; k < keys; k++ {
+			st.set(fmt.Sprintf("c-%d", k), val(k, gen))
+			gens[k] = gen
+		}
+		if st.compactions.Value() > 2 {
+			break
+		}
+	}
+	if st.compactions.Value() == 0 {
+		t.Fatalf("no compaction after %d dead bytes", sh.dead)
+	}
+	for k := 0; k < keys; k++ {
+		got, ok := st.get(fmt.Sprintf("c-%d", k))
+		if !ok || !bytes.Equal(got, val(k, gens[k])) {
+			t.Fatalf("key %d corrupted after compaction (ok=%v)", k, ok)
+		}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.dead*2 >= sh.total+arenaCompactMinDead {
+		t.Fatalf("dead bytes not reclaimed: dead=%d total=%d", sh.dead, sh.total)
+	}
+	if len(sh.free) == 0 {
+		t.Fatal("no retired chunks queued for reuse")
+	}
+}
+
+// TestArenaGetZeroAlloc is the in-process form of the check.sh alloc gate:
+// the pinned arena GET path must not allocate.
+func TestArenaGetZeroAlloc(t *testing.T) {
+	st := newTestArena(4096, 4)
+	payload := bytes.Repeat([]byte("z"), 512)
+	keys := make([][]byte, 256)
+	for i := range keys {
+		k := fmt.Sprintf("za-%d", i)
+		st.set(k, payload)
+		keys[i] = []byte(k)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		pin := st.pin()
+		v, ok := st.getBytes(keys[i%len(keys)])
+		if !ok || len(v) != len(payload) {
+			t.Fatal("unexpected miss")
+		}
+		pin.Unpin()
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("arena GET path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestTinyLFUBeatsLRUZipfian is the admission-quality gate from the issue:
+// on the same zipfian request stream at the same capacity, the
+// TinyLFU-fronted store must land a strictly higher hit ratio than raw LRU,
+// in both store modes.
+func TestTinyLFUBeatsLRUZipfian(t *testing.T) {
+	const (
+		capacity = 512
+		keySpace = 8192
+		ops      = 120000
+	)
+	run := func(mode, adm string) float64 {
+		st, err := newStoreFor(Options{Capacity: capacity, Shards: 4, Mode: mode, Admission: adm}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zipf := xrand.NewZipf(xrand.New(1234), 0.99, keySpace)
+		val := []byte("v")
+		for i := 0; i < ops; i++ {
+			k := fmt.Sprintf("z-%d", zipf.Next())
+			if _, ok := st.get(k); !ok {
+				st.set(k, val)
+			}
+		}
+		_, hits, misses := st.stats()
+		return float64(hits) / float64(hits+misses)
+	}
+	lru := run(StoreModeMutex, AdmissionNone)
+	tiny := run(StoreModeMutex, AdmissionTinyLFU)
+	arenaTiny := run(StoreModeArena, AdmissionTinyLFU)
+	t.Logf("zipfian hit ratio: lru=%.4f mutex+tinylfu=%.4f arena+tinylfu=%.4f", lru, tiny, arenaTiny)
+	if tiny <= lru {
+		t.Fatalf("tinylfu (%.4f) must beat raw LRU (%.4f) on the zipfian mix", tiny, lru)
+	}
+	if arenaTiny <= lru {
+		t.Fatalf("arena+tinylfu (%.4f) must beat raw LRU (%.4f) on the zipfian mix", arenaTiny, lru)
+	}
+}
+
+// TestAdmissionSketch covers the filter's moving parts directly: the
+// doorkeeper absorbs first sightings, repetition raises estimates, halving
+// decays them, and admit prefers the hotter key.
+func TestAdmissionSketch(t *testing.T) {
+	a := newAdmission(64, nil)
+	hot, cold := fnv1a64String("hot"), fnv1a64String("cold")
+	if got := a.estimate(hot); got != 0 {
+		t.Fatalf("untouched estimate = %d, want 0", got)
+	}
+	a.touch(hot)
+	if got := a.estimate(hot); got != 1 {
+		t.Fatalf("after one touch (doorkeeper only): estimate = %d, want 1", got)
+	}
+	for i := 0; i < 10; i++ {
+		a.touch(hot)
+	}
+	a.touch(cold)
+	if eh, ec := a.estimate(hot), a.estimate(cold); eh <= ec {
+		t.Fatalf("hot estimate %d not above cold %d", eh, ec)
+	}
+	if !a.admit(hot, cold) {
+		t.Fatal("hot key not admitted over cold victim")
+	}
+	if a.admit(cold, hot) {
+		t.Fatal("cold key admitted over hot victim")
+	}
+	before := a.estimate(hot)
+	a.samples.Store(a.sampleCap)
+	a.halve()
+	if after := a.estimate(hot); after >= before {
+		t.Fatalf("halving did not decay: %d -> %d", before, after)
+	}
+}
+
+// TestArenaMetricsExposed: the new families flow through METRICS in the
+// Prometheus exposition.
+func TestArenaMetricsExposed(t *testing.T) {
+	srv, err := ServeWith("127.0.0.1:0", Options{
+		Capacity: 128, Shards: 2, Mode: StoreModeArena, Admission: AdmissionTinyLFU,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("m-%d", i%64)
+		if err := c.Set(k, bytes.Repeat([]byte("x"), 64)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Get(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	text := srv.metricsText()
+	for _, want := range []string{
+		`kv_arena_bytes{shard="0"}`,
+		`kv_arena_bytes{shard="1"}`,
+		"kv_arena_dead_bytes",
+		"kv_arena_compactions_total",
+		`kv_admission_total{result=`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("METRICS missing %s", want)
+		}
+	}
+}
+
+// TestStoreModeOptionValidation: unknown modes and policies are rejected at
+// startup, not at first use.
+func TestStoreModeOptionValidation(t *testing.T) {
+	if _, err := ServeWith("127.0.0.1:0", Options{Capacity: 8, Mode: "slab"}); err == nil {
+		t.Fatal("unknown store mode accepted")
+	}
+	if _, err := ServeWith("127.0.0.1:0", Options{Capacity: 8, Admission: "lfu"}); err == nil {
+		t.Fatal("unknown admission policy accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.StoreMode = "slab"
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Config.Validate accepted unknown store mode")
+	}
+	cfg = DefaultConfig()
+	cfg.Admission = "lfu"
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Config.Validate accepted unknown admission policy")
+	}
+}
+
+// FuzzArenaOffsetTable drives an arena shard with an arbitrary op stream —
+// store, overwrite, delete, forced compaction — against a plain map model:
+// every surviving key must round-trip its exact bytes through the
+// offset/length table regardless of op order.
+func FuzzArenaOffsetTable(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{4, 0, 4, 1, 4, 2})
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4})
+	f.Add(bytes.Repeat([]byte{0, 4, 1, 4}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st := newTestArena(64, 1)
+		sh := st.shards[0]
+		model := make(map[string][]byte)
+		key := func(b byte) string { return fmt.Sprintf("f-%d", b%13) }
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			k := key(arg)
+			switch op % 5 {
+			case 0, 1: // set/overwrite with a value derived from the stream
+				n := int(arg) * 37 % 900
+				v := make([]byte, n)
+				for j := range v {
+					v[j] = byte(int(arg) + j)
+				}
+				st.set(k, v)
+				model[k] = v
+			case 2:
+				st.del(k)
+				delete(model, k)
+			case 3: // forced compaction, regardless of thresholds
+				sh.mu.Lock()
+				sh.compact(st)
+				sh.refreshGauges(st)
+				sh.mu.Unlock()
+			case 4:
+				got, ok := st.get(k)
+				want, wok := model[k]
+				if ok != wok || !bytes.Equal(got, want) {
+					t.Fatalf("op %d: get(%q) = (%d bytes, %v), want (%d bytes, %v)",
+						i, k, len(got), ok, len(want), wok)
+				}
+			}
+		}
+		for k, want := range model {
+			got, ok := st.get(k)
+			if !ok || !bytes.Equal(got, want) {
+				t.Fatalf("final: get(%q) = (%d bytes, %v), want %d bytes", k, len(got), ok, len(want))
+			}
+		}
+		items, _, _ := st.stats()
+		if items != len(model) {
+			t.Fatalf("resident %d items, model has %d", items, len(model))
+		}
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if sh.dead > sh.total {
+			t.Fatalf("accounting broken: dead=%d > total=%d", sh.dead, sh.total)
+		}
+	})
+}

@@ -114,7 +114,7 @@ const (
 
 // Server is the TCP cache server.
 type Server struct {
-	store    *store
+	store    store
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   atomic.Bool
@@ -193,6 +193,16 @@ type Options struct {
 	// stores keep strict global LRU order and large ones spread lock
 	// contention.
 	Shards int
+	// Mode selects the store implementation: StoreModeMutex (default,
+	// also selected by "") or StoreModeArena — per-shard []byte arenas
+	// with an epoch-protected lock-free GET path and sampled LRU
+	// eviction; see arena.go.
+	Mode string
+	// Admission selects the insert admission policy: AdmissionNone
+	// (default, also selected by "") or AdmissionTinyLFU — a frequency
+	// sketch that only lets a new key displace an eviction victim it
+	// out-scores; see admission.go.
+	Admission string
 	// Registry receives the server's telemetry and backs the METRICS verb.
 	// Nil means a private registry owned by the server — METRICS always
 	// works. Passing a shared registry lets a host process fold kvserver
@@ -242,15 +252,9 @@ func ServeOn(ln net.Listener, opts Options) (*Server, error) {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
-	var st *store
-	if opts.Shards == 0 {
-		st = newStore(opts.Capacity)
-	} else {
-		n := opts.Shards
-		if n > MaxShards {
-			n = MaxShards
-		}
-		st = newStoreShards(opts.Capacity, n)
+	st, err := newStoreFor(opts, reg)
+	if err != nil {
+		return nil, err
 	}
 	srv := &Server{
 		store:    st,
@@ -300,8 +304,9 @@ func (s *Server) Keys() []string { return s.store.keys() }
 
 // Peek returns the value under key without touching LRU recency or the
 // hit/miss counters, so migration reads never distort eviction order or
-// serving stats. The returned slice is the store's live value; callers
-// must not modify it.
+// serving stats. In mutex mode the returned slice is the store's live
+// value (callers must not modify it); in arena mode it is a copy, since a
+// live arena slice could be recycled under an unpinned caller.
 func (s *Server) Peek(key string) ([]byte, bool) { return s.store.peek(key) }
 
 func (s *Server) acceptLoop() {
@@ -464,8 +469,14 @@ func (s *Server) doGet(sess *session, args [][]byte) error {
 		return errBadArgs
 	}
 	start := time.Now()
+	// The pin brackets both the lookup and the reply write: in arena mode
+	// the value slice aliases arena memory that compaction may recycle,
+	// and the epoch keeps it intact until the bytes have left for the
+	// bufio writer. Mutex mode returns a nil (no-op) slot.
+	pin := s.store.pin()
 	value, ok := s.store.getBytes(args[0])
 	err := sess.writeValueOrMiss(value, ok)
+	pin.Unpin()
 	if ok {
 		s.tel.getHit.Inc()
 	} else {
@@ -484,6 +495,8 @@ func (s *Server) doMGet(sess *session, args [][]byte) error {
 	}
 	start := time.Now()
 	var hits, misses int64
+	// One pin covers the whole batch (bounded by MaxBatchOps); see doGet.
+	pin := s.store.pin()
 	for _, key := range args {
 		value, ok := s.store.getBytes(key)
 		if ok {
@@ -492,9 +505,11 @@ func (s *Server) doMGet(sess *session, args [][]byte) error {
 			misses++
 		}
 		if err := sess.writeValueOrMiss(value, ok); err != nil {
+			pin.Unpin()
 			return err
 		}
 	}
+	pin.Unpin()
 	_, err := sess.w.WriteString("END\r\n")
 	s.tel.mgetHit.Add(hits)
 	s.tel.mgetMiss.Add(misses)

@@ -1,12 +1,29 @@
 package kvserver
 
-import "sync"
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
 
-// The value store is an N-way sharded LRU: keys are FNV-1a-hashed to a
-// shard, each shard is an independent mutex-guarded LRU with its own slice
-// of the item capacity and its own hit/miss counters. Concurrent GET/SET on
-// different shards never contend; STATS and METRICS aggregate across
-// shards.
+	"spidercache/internal/epoch"
+	"spidercache/internal/telemetry"
+)
+
+// The value store is N-way sharded: keys are FNV-1a-hashed to a shard and
+// shards never contend with each other. Two implementations sit behind the
+// store interface:
+//
+//   - mutexStore (this file): each shard is a mutex-guarded exact LRU whose
+//     values are individual GC-managed allocations. Simple, strictly
+//     ordered, and the reference semantics the arena store is tested
+//     against.
+//   - arenaStore (arena.go): each shard keeps its payload bytes in a
+//     chunked []byte arena with an epoch-protected lock-free GET path and
+//     approximate (sampled) LRU eviction.
+//
+// Both optionally take a TinyLFU admission filter (admission.go): on
+// insert-at-capacity the arriving key must out-score the eviction victim's
+// estimated frequency or the insert is dropped.
 //
 // Shard count is a power of two chosen from the capacity: one shard per
 // minShardItems items, capped at maxAutoShards. Small stores (capacity <
@@ -24,10 +41,95 @@ const (
 	MaxShards = 256
 )
 
-// store routes keys across shards.
-type store struct {
+// Store modes selectable via Options.Mode / Config.StoreMode.
+const (
+	// StoreModeMutex is the classic arrangement: per-shard mutex, exact
+	// LRU, one GC allocation per value.
+	StoreModeMutex = "mutex"
+	// StoreModeArena keeps values in per-shard []byte arenas with
+	// epoch-based lock-free GETs and sampled LRU eviction (see arena.go).
+	StoreModeArena = "arena"
+)
+
+// Admission policies selectable via Options.Admission / Config.Admission.
+const (
+	// AdmissionNone admits every insert (evicting per policy when full).
+	AdmissionNone = "none"
+	// AdmissionTinyLFU gates insert-at-capacity behind the TinyLFU
+	// frequency sketch (see admission.go).
+	AdmissionTinyLFU = "tinylfu"
+)
+
+// store is the interface the server drives; see the package comment above
+// for the two implementations.
+type store interface {
+	// pin opens an epoch read-side critical section guarding any value
+	// slice later returned by get/getBytes, until Unpin. The mutex store
+	// returns nil (Unpin on nil is a no-op): its values are GC-owned and
+	// never recycled.
+	pin() *epoch.Slot
+	get(key string) ([]byte, bool)
+	getBytes(key []byte) ([]byte, bool)
+	// peek reads without touching recency, hit/miss counters or the
+	// admission sketch. The arena store returns a copy (migration callers
+	// hold no pin); the mutex store returns the live value.
+	peek(key string) ([]byte, bool)
+	keys() []string
+	set(key string, value []byte)
+	del(key string) bool
+	stats() (items int, hits, misses int64)
+	shardStats(i int) (items int, hits, misses int64, capacity int)
+	numShards() int
+}
+
+// shardStat is one shard's hit/miss counters, padded out to a full cache
+// line. The counters for all shards live in one contiguous slice; without
+// the padding, two neighbouring shards' counters share a 64-byte line and
+// every hit on shard i invalidates the line under shard i±1's counter —
+// false sharing that showed up directly in the shard-sweep benchmark
+// (BenchmarkStoreGet: ~1.8x worse ops/s at shards=16 with unpadded
+// adjacent counters; see the note there).
+type shardStat struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+	_      [48]byte
+}
+
+// newStoreFor builds the store Options describe. reg may be nil.
+func newStoreFor(opts Options, reg *telemetry.Registry) (store, error) {
+	shards := autoShards(opts.Capacity)
+	if opts.Shards != 0 {
+		shards = opts.Shards
+		if shards > MaxShards {
+			shards = MaxShards
+		}
+	}
+	var adm *admission
+	switch opts.Admission {
+	case "", AdmissionNone:
+	case AdmissionTinyLFU:
+		adm = newAdmission(opts.Capacity, reg)
+	default:
+		return nil, errors.New("kvserver: unknown admission policy " + opts.Admission + " (want none or tinylfu)")
+	}
+	switch opts.Mode {
+	case "", StoreModeMutex:
+		st := newStoreShards(opts.Capacity, shards)
+		st.adm = adm
+		return st, nil
+	case StoreModeArena:
+		return newArenaStore(opts.Capacity, shards, adm, reg), nil
+	default:
+		return nil, errors.New("kvserver: unknown store mode " + opts.Mode + " (want mutex or arena)")
+	}
+}
+
+// mutexStore routes keys across mutex-LRU shards.
+type mutexStore struct {
 	shards []*shard
+	stats_ []shardStat // contiguous padded per-shard counters
 	mask   uint32
+	adm    *admission // nil: admit everything
 }
 
 // shard is one independent LRU partition.
@@ -37,8 +139,6 @@ type shard struct {
 	entries  map[string]*kvNode
 	head     *kvNode // most recently used
 	tail     *kvNode
-	hits     int64
-	misses   int64
 }
 
 type kvNode struct {
@@ -67,33 +167,44 @@ func floorPow2(n int) int {
 	return p
 }
 
-// newStore builds a store with the automatic shard count for capacity.
-func newStore(capacity int) *store {
+// shardCaps splits capacity exactly across n shards: base items per shard,
+// the remainder spread one-each over the first shards, so the sum of shard
+// capacities equals capacity. n is rounded down to a power of two and
+// clamped to [1, capacity] so every shard holds at least one item.
+func shardCaps(capacity, n int) []int {
+	if n < 1 {
+		n = 1
+	}
+	if n > capacity {
+		n = capacity
+	}
+	n = floorPow2(n)
+	caps := make([]int, n)
+	base, rem := capacity/n, capacity%n
+	for i := range caps {
+		caps[i] = base
+		if i < rem {
+			caps[i]++
+		}
+	}
+	return caps
+}
+
+// newStore builds a mutex store with the automatic shard count.
+func newStore(capacity int) *mutexStore {
 	return newStoreShards(capacity, autoShards(capacity))
 }
 
-// newStoreShards builds a store with an explicit shard count (rounded down
-// to a power of two, clamped to [1, capacity] so every shard holds at least
-// one item).
-func newStoreShards(capacity, shards int) *store {
-	if shards < 1 {
-		shards = 1
+// newStoreShards builds a mutex store with an explicit shard count.
+func newStoreShards(capacity, shards int) *mutexStore {
+	caps := shardCaps(capacity, shards)
+	s := &mutexStore{
+		shards: make([]*shard, len(caps)),
+		stats_: make([]shardStat, len(caps)),
+		mask:   uint32(len(caps) - 1),
 	}
-	if shards > capacity {
-		shards = capacity
-	}
-	shards = floorPow2(shards)
-	s := &store{shards: make([]*shard, shards), mask: uint32(shards - 1)}
-	// Split the capacity exactly: base items per shard, the remainder
-	// spread one-each over the first shards, so sum(shard capacities) ==
-	// capacity.
-	base, rem := capacity/shards, capacity%shards
-	for i := range s.shards {
-		cap := base
-		if i < rem {
-			cap++
-		}
-		s.shards[i] = &shard{capacity: cap, entries: make(map[string]*kvNode, cap)}
+	for i, c := range caps {
+		s.shards[i] = &shard{capacity: c, entries: make(map[string]*kvNode, c)}
 	}
 	return s
 }
@@ -112,41 +223,6 @@ func fnv1a(key string) uint32 {
 	return h
 }
 
-func (s *store) shardFor(key string) *shard {
-	return s.shards[fnv1a(key)&s.mask]
-}
-
-func (s *store) get(key string) ([]byte, bool) {
-	sh := s.shardFor(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	n, ok := sh.entries[key]
-	if !ok {
-		sh.misses++
-		return nil, false
-	}
-	sh.hits++
-	sh.moveToFront(n)
-	return n.value, true
-}
-
-// getBytes is get with a []byte key: the map lookup via string(key)
-// compiles to an allocation-free conversion, so the hot GET path never
-// copies the key.
-func (s *store) getBytes(key []byte) ([]byte, bool) {
-	sh := s.shards[fnv1aBytes(key)&s.mask]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	n, ok := sh.entries[string(key)]
-	if !ok {
-		sh.misses++
-		return nil, false
-	}
-	sh.hits++
-	sh.moveToFront(n)
-	return n.value, true
-}
-
 func fnv1aBytes(key []byte) uint32 {
 	const (
 		offset32 = 2166136261
@@ -160,12 +236,58 @@ func fnv1aBytes(key []byte) uint32 {
 	return h
 }
 
+// pin is a no-op: mutex-store values are GC-owned, never recycled.
+func (s *mutexStore) pin() *epoch.Slot { return nil }
+
+func (s *mutexStore) shardFor(key string) (int, *shard) {
+	i := int(fnv1a(key) & s.mask)
+	return i, s.shards[i]
+}
+
+func (s *mutexStore) get(key string) ([]byte, bool) {
+	if s.adm != nil {
+		s.adm.touch(fnv1a64String(key))
+	}
+	i, sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n, ok := sh.entries[key]
+	if !ok {
+		s.stats_[i].misses.Add(1)
+		return nil, false
+	}
+	s.stats_[i].hits.Add(1)
+	sh.moveToFront(n)
+	return n.value, true
+}
+
+// getBytes is get with a []byte key: the map lookup via string(key)
+// compiles to an allocation-free conversion, so the hot GET path never
+// copies the key.
+func (s *mutexStore) getBytes(key []byte) ([]byte, bool) {
+	if s.adm != nil {
+		s.adm.touch(fnv1a64(key))
+	}
+	i := int(fnv1aBytes(key) & s.mask)
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n, ok := sh.entries[string(key)]
+	if !ok {
+		s.stats_[i].misses.Add(1)
+		return nil, false
+	}
+	s.stats_[i].hits.Add(1)
+	sh.moveToFront(n)
+	return n.value, true
+}
+
 // peek returns the value under key without bumping LRU recency or the
 // hit/miss counters — the migration scan's read primitive, so pushing keys
 // to a new replica owner neither distorts eviction order nor pollutes the
 // serving hit ratio.
-func (s *store) peek(key string) ([]byte, bool) {
-	sh := s.shardFor(key)
+func (s *mutexStore) peek(key string) ([]byte, bool) {
+	_, sh := s.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	n, ok := sh.entries[key]
@@ -178,7 +300,7 @@ func (s *store) peek(key string) ([]byte, bool) {
 // keys returns every resident key. Each shard is snapshotted under its own
 // lock, so the result is a consistent per-shard view (keys inserted or
 // evicted mid-scan may or may not appear, as with stats).
-func (s *store) keys() []string {
+func (s *mutexStore) keys() []string {
 	out := make([]string, 0, 256)
 	for _, sh := range s.shards {
 		sh.mu.Lock()
@@ -190,8 +312,11 @@ func (s *store) keys() []string {
 	return out
 }
 
-func (s *store) set(key string, value []byte) {
-	sh := s.shardFor(key)
+func (s *mutexStore) set(key string, value []byte) {
+	if s.adm != nil {
+		s.adm.touch(fnv1a64String(key))
+	}
+	_, sh := s.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if n, ok := sh.entries[key]; ok {
@@ -200,6 +325,13 @@ func (s *store) set(key string, value []byte) {
 		return
 	}
 	if len(sh.entries) >= sh.capacity && sh.tail != nil {
+		// At capacity: the tail is the victim. With admission on, the
+		// newcomer must out-score it or the insert is dropped (the touch
+		// above still recorded the access, so a key that keeps arriving
+		// eventually earns its slot).
+		if s.adm != nil && !s.adm.admit(fnv1a64String(key), fnv1a64String(sh.tail.key)) {
+			return
+		}
 		victim := sh.tail
 		sh.unlink(victim)
 		delete(sh.entries, victim.key)
@@ -209,8 +341,8 @@ func (s *store) set(key string, value []byte) {
 	sh.pushFront(n)
 }
 
-func (s *store) del(key string) bool {
-	sh := s.shardFor(key)
+func (s *mutexStore) del(key string) bool {
+	_, sh := s.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	n, ok := sh.entries[key]
@@ -222,30 +354,30 @@ func (s *store) del(key string) bool {
 	return true
 }
 
-// stats aggregates (items, hits, misses) across shards. The counters are
+// stats aggregates (items, hits, misses) across shards. Item counts are
 // read per shard under that shard's lock, so the totals are a consistent
 // sum of per-shard snapshots (not a single global snapshot — concurrent
 // ops may land between shard reads, as with any sharded counter).
-func (s *store) stats() (items int, hits, misses int64) {
-	for _, sh := range s.shards {
+func (s *mutexStore) stats() (items int, hits, misses int64) {
+	for i, sh := range s.shards {
 		sh.mu.Lock()
 		items += len(sh.entries)
-		hits += sh.hits
-		misses += sh.misses
 		sh.mu.Unlock()
+		hits += s.stats_[i].hits.Load()
+		misses += s.stats_[i].misses.Load()
 	}
 	return items, hits, misses
 }
 
 // shardStats reports (items, hits, misses, capacity) for shard i.
-func (s *store) shardStats(i int) (items int, hits, misses int64, capacity int) {
+func (s *mutexStore) shardStats(i int) (items int, hits, misses int64, capacity int) {
 	sh := s.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return len(sh.entries), sh.hits, sh.misses, sh.capacity
+	return len(sh.entries), s.stats_[i].hits.Load(), s.stats_[i].misses.Load(), sh.capacity
 }
 
-func (s *store) numShards() int { return len(s.shards) }
+func (s *mutexStore) numShards() int { return len(s.shards) }
 
 func (sh *shard) pushFront(n *kvNode) {
 	n.prev = nil

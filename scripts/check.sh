@@ -39,10 +39,25 @@ go run ./cmd/spiderlint ./...
 echo "== go test"
 go test ./...
 
+# The arena store's whole claim is GC-free reads: a single allocation per
+# GET would silently reintroduce the per-op garbage the design exists to
+# eliminate, and nothing else in the suite would notice. Gate on the
+# benchmark's own -benchmem accounting.
+echo "== arena alloc regression (GET must be 0 allocs/op)"
+alloc_out="$(go test -run '^$' -bench 'BenchmarkStoreGet/mode=arena' \
+    -benchtime 1000x -benchmem ./internal/kvserver/)"
+echo "$alloc_out"
+echo "$alloc_out" | awk '
+    /BenchmarkStoreGet\/mode=arena/ && / allocs\/op/ {
+        if ($(NF-1)+0 != 0) { print "arena GET allocates: " $0 > "/dev/stderr"; bad = 1 }
+    }
+    END { exit bad }'
+
 if [ "${SKIP_RACE:-0}" != "1" ]; then
     echo "== go test -race (concurrency-sensitive subset)"
     go test -race \
-        ./internal/telemetry/... ./internal/kvserver/... ./internal/cache/... \
+        ./internal/telemetry/... ./internal/kvserver/... ./internal/epoch/... \
+        ./internal/cache/... \
         ./internal/hnsw/... ./internal/semgraph/... ./internal/trainer/... \
         ./internal/par/... ./internal/leakcheck/... \
         ./internal/faultnet/... ./internal/cluster/...
