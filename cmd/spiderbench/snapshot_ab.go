@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"spidercache/internal/hnsw"
+	"spidercache/internal/semgraph"
+	"spidercache/internal/xrand"
+)
+
+// Workload shape for the snapshot A/B: a repeated-epoch scoring loop where
+// each sample's embedding moves by a small jitter between visits — an order
+// of magnitude inside the default drift budget, the regime the snapshot
+// cache is designed for.
+const (
+	abSamples = 2048
+	abDim     = 16
+	abBatch   = 64
+	abJitter  = 0.003
+)
+
+type snapshotABArm struct {
+	Drift            float64 `json:"drift"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	SearchKNNPerOp   float64 `json:"searchknn_per_batch"`
+	SearchKNNPerEp   float64 `json:"searchknn_per_epoch"`
+	SnapshotHitRate  float64 `json:"snapshot_hit_rate"`
+	SnapshotBytes    int64   `json:"snapshot_bytes"`
+	BatchesPerSecond float64 `json:"batches_per_second"`
+}
+
+type snapshotABReport struct {
+	Workload struct {
+		Samples int     `json:"samples"`
+		Dim     int     `json:"dim"`
+		Batch   int     `json:"batch"`
+		Jitter  float64 `json:"jitter"`
+	} `json:"workload"`
+	Off             snapshotABArm `json:"off"`
+	On              snapshotABArm `json:"on"`
+	Speedup         float64       `json:"speedup"`
+	SearchReduction float64       `json:"search_reduction"`
+}
+
+// runSnapshotAB benchmarks ScoreBatch with snapshots off vs on (at the
+// default drift budget) and writes the comparison to path as JSON. The two
+// arms run the identical embedding stream; only the drift budget differs.
+func runSnapshotAB(path string) error {
+	off, err := benchSnapshotArm(0)
+	if err != nil {
+		return err
+	}
+	on, err := benchSnapshotArm(semgraph.DefaultSnapshotDrift)
+	if err != nil {
+		return err
+	}
+	var rep snapshotABReport
+	rep.Workload.Samples = abSamples
+	rep.Workload.Dim = abDim
+	rep.Workload.Batch = abBatch
+	rep.Workload.Jitter = abJitter
+	rep.Off = off
+	rep.On = on
+	if on.NsPerOp > 0 {
+		rep.Speedup = off.NsPerOp / on.NsPerOp
+	}
+	if on.SearchKNNPerEp > 0 {
+		rep.SearchReduction = off.SearchKNNPerEp / on.SearchKNNPerEp
+	} else {
+		rep.SearchReduction = off.SearchKNNPerEp // zero on-arm searches: reduction is unbounded, report the saved volume
+	}
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot A/B: off %.0f ns/op (%.1f searches/batch), on %.0f ns/op (%.1f searches/batch, hit rate %.1f%%)\n",
+		off.NsPerOp, off.SearchKNNPerOp, on.NsPerOp, on.SearchKNNPerOp, on.SnapshotHitRate*100)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// benchSnapshotArm measures one arm via testing.Benchmark so iteration
+// counts self-calibrate exactly like `go test -bench`.
+func benchSnapshotArm(drift float64) (snapshotABArm, error) {
+	arm := snapshotABArm{Drift: drift}
+	var armErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		labels := make([]int, abSamples)
+		for i := range labels {
+			labels[i] = i % 10
+		}
+		ix, err := hnsw.New(hnsw.DefaultConfig())
+		if err != nil {
+			armErr = err
+			b.Skip()
+		}
+		cfg := semgraph.DefaultConfig()
+		cfg.SnapshotDrift = drift
+		g, err := semgraph.New(cfg, labels, ix)
+		if err != nil {
+			armErr = err
+			b.Skip()
+		}
+		rng := xrand.New(4)
+		base := make([][]float64, abSamples)
+		ids := make([]int, abSamples)
+		for id := 0; id < abSamples; id++ {
+			ids[id] = id
+			v := make([]float64, abDim)
+			for d := range v {
+				v[d] = rng.NormFloat64() * 0.05
+			}
+			v[labels[id]%abDim] += 1
+			base[id] = v
+		}
+		// Warm pass: populate the index (and snapshots when enabled).
+		if _, err := g.ScoreBatch(ids, base); err != nil {
+			armErr = err
+			b.Skip()
+		}
+		batchIDs := make([]int, abBatch)
+		embs := make([][]float64, abBatch)
+		for i := range embs {
+			embs[i] = make([]float64, abDim)
+		}
+		startSearches := g.SearchCalls()
+		startStats := g.SnapshotStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < abBatch; j++ {
+				id := (i*abBatch + j) % abSamples
+				batchIDs[j] = id
+				for d := 0; d < abDim; d++ {
+					embs[j][d] = base[id][d] + rng.NormFloat64()*abJitter
+				}
+			}
+			if _, err := g.ScoreBatch(batchIDs, embs); err != nil {
+				armErr = err
+				b.Skip()
+			}
+		}
+		b.StopTimer()
+		searches := g.SearchCalls() - startSearches
+		stats := g.SnapshotStats()
+		hits := stats.Hits - startStats.Hits
+		refreshes := stats.Refreshes - startStats.Refreshes
+		arm.SearchKNNPerOp = float64(searches) / float64(b.N)
+		arm.SearchKNNPerEp = float64(searches) * abSamples / float64(b.N*abBatch)
+		if hits+refreshes > 0 {
+			arm.SnapshotHitRate = float64(hits) / float64(hits+refreshes)
+		}
+		arm.SnapshotBytes = stats.Bytes
+	})
+	if armErr != nil {
+		return arm, armErr
+	}
+	arm.NsPerOp = float64(res.NsPerOp())
+	if res.NsPerOp() > 0 {
+		arm.BatchesPerSecond = 1e9 / float64(res.NsPerOp())
+	}
+	return arm, nil
+}

@@ -116,8 +116,10 @@ var registry = map[string]runner{
 	"table4": Table4,
 	"table6": Table6,
 	"fig17":  Fig17,
-	// Beyond the paper: design-choice ablations (DESIGN.md §5).
+	// Beyond the paper: design-choice ablations (DESIGN.md §5) and the
+	// neighborhood-snapshot staleness-vs-accuracy sweep (DESIGN.md §7).
 	"ablation": Ablation,
+	"snapshot": Snapshot,
 }
 
 // aliases map alternative paper labels onto canonical experiment IDs.

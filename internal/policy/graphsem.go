@@ -1,0 +1,113 @@
+package policy
+
+import (
+	"fmt"
+
+	"spidercache/internal/cache"
+	"spidercache/internal/sampler"
+	"spidercache/internal/semgraph"
+)
+
+// GraphAwareSem is the GraphAware cache wired to the *learned* semantic
+// graph instead of the label-ring proxy: eviction-priority spill flows
+// along each sample's snapshot CloseNeighbors list — the near-duplicate
+// same-class neighbours SpiderCache's grapher discovers from embeddings —
+// so the cache keeps genuinely interchangeable neighbourhoods resident
+// rather than arbitrary same-class ring-mates. Sampling stays uniform,
+// matching the plain GraphAware baseline so the two isolate the graph
+// source as the only difference.
+//
+// The policy runs the grapher's batch scoring to keep the graph learning,
+// which makes it the one GraphAware variant that pays the graph-IS cost;
+// the neighborhood-snapshot cache is what makes that affordable, so the
+// grapher must be built with a positive SnapshotDrift (CloseNeighbors
+// lists are read from snapshots).
+type GraphAwareSem struct {
+	cache   cache.Basic
+	sampler sampler.Sampler
+	g       *semgraph.Grapher
+
+	// reusable OnBatchEnd scratch
+	ids  []int
+	embs [][]float64
+}
+
+var (
+	_ Policy              = (*GraphAwareSem)(nil)
+	_ SearchStatsReporter = (*GraphAwareSem)(nil)
+)
+
+// NewGraphAwareSem builds the semantic-graph GraphAware policy over n
+// samples. g must be a grapher with snapshots enabled (SnapshotDrift > 0):
+// without them no CloseNeighbors lists are retained between batches and
+// the cache would degenerate to plain GreedyDual.
+func NewGraphAwareSem(n, capacity int, seed uint64, g *semgraph.Grapher) (*GraphAwareSem, error) {
+	if g == nil {
+		return nil, fmt.Errorf("GraphAware-sem: grapher must not be nil")
+	}
+	if g.SnapshotDrift() <= 0 {
+		return nil, fmt.Errorf("GraphAware-sem: grapher needs SnapshotDrift > 0 (got %g): neighbour lists are read from snapshots", g.SnapshotDrift())
+	}
+	u, err := sampler.NewUniform(n, seed)
+	if err != nil {
+		return nil, fmt.Errorf("GraphAware-sem: %w", err)
+	}
+	return &GraphAwareSem{
+		cache:   cache.NewGraphAware(capacity, g.SnapshotCloseNeighbors),
+		sampler: u,
+		g:       g,
+	}, nil
+}
+
+// Name returns "GraphAware-sem".
+func (p *GraphAwareSem) Name() string { return "GraphAware-sem" }
+
+// EpochOrder is a uniform permutation, as in the plain GraphAware baseline.
+func (p *GraphAwareSem) EpochOrder(epoch int) []int { return p.sampler.EpochOrder(epoch) }
+
+// Lookup consults the graph-aware cache.
+func (p *GraphAwareSem) Lookup(id int) Lookup {
+	if _, ok := p.cache.Get(id); ok {
+		return Lookup{Source: SourceCache, ServedID: id}
+	}
+	return Lookup{Source: SourceMiss, ServedID: id}
+}
+
+// OnMiss offers the fetched sample for GreedyDual admission.
+func (p *GraphAwareSem) OnMiss(id, size int) { p.cache.Put(cache.Item{ID: id, Size: size}) }
+
+// OnBatchEnd feeds the batch embeddings to the grapher so the semantic
+// graph (and the snapshots the cache reads neighbour lists from) keeps
+// tracking the model's representation.
+func (p *GraphAwareSem) OnBatchEnd(_ int, fb []Feedback) {
+	if len(fb) == 0 {
+		return
+	}
+	p.ids = p.ids[:0]
+	p.embs = p.embs[:0]
+	for _, f := range fb {
+		p.ids = append(p.ids, f.ID)
+		p.embs = append(p.embs, f.Embedding)
+	}
+	// Out-of-range IDs cannot occur from the trainer; scores are discarded
+	// (this policy samples uniformly) — only the graph side effects matter.
+	_, _ = p.g.ScoreBatch(p.ids, p.embs)
+}
+
+// OnEpochEnd is a no-op: the policy has no accuracy feedback loop.
+func (p *GraphAwareSem) OnEpochEnd(int, float64) {}
+
+// BackpropWeights trains every sample.
+func (p *GraphAwareSem) BackpropWeights([]Feedback) []float64 { return nil }
+
+// HasGraphIS reports true: the trainer charges the per-batch graph cost.
+func (p *GraphAwareSem) HasGraphIS() bool { return true }
+
+// SearchStats reports the grapher's cumulative SearchKNN calls and
+// snapshot-served scoring requests.
+func (p *GraphAwareSem) SearchStats() (searches, snapshotHits int64) {
+	return p.g.SearchCalls(), p.g.SnapshotStats().Hits
+}
+
+// Grapher exposes the underlying semantic graph for experiments.
+func (p *GraphAwareSem) Grapher() *semgraph.Grapher { return p.g }

@@ -1,0 +1,112 @@
+package policy
+
+import (
+	"testing"
+
+	"spidercache/internal/hnsw"
+	"spidercache/internal/semgraph"
+	"spidercache/internal/xrand"
+)
+
+func testSemGrapher(t *testing.T, n int, drift float64) *semgraph.Grapher {
+	t.Helper()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	ix, err := hnsw.New(hnsw.Config{M: 8, EfConstruction: 64, EfSearch: 48, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := semgraph.DefaultConfig()
+	cfg.SnapshotDrift = drift
+	g, err := semgraph.New(cfg, labels, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGraphAwareSemRequiresSnapshots(t *testing.T) {
+	if _, err := NewGraphAwareSem(16, 8, 1, nil); err == nil {
+		t.Fatal("nil grapher accepted")
+	}
+	g := testSemGrapher(t, 16, 0)
+	if _, err := NewGraphAwareSem(16, 8, 1, g); err == nil {
+		t.Fatal("snapshot-less grapher accepted")
+	}
+}
+
+// TestGraphAwareSemLearnsNeighbors drives a few batches of clustered
+// embeddings through the policy and checks the cache's neighbour source is
+// the learned semantic graph: after training, snapshot CloseNeighbors lists
+// exist and stay within the sample's own class.
+func TestGraphAwareSemLearnsNeighbors(t *testing.T) {
+	const n, dim = 64, 8
+	g := testSemGrapher(t, n, semgraph.DefaultSnapshotDrift)
+	p, err := NewGraphAwareSem(n, 16, 1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "GraphAware-sem" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	if !p.HasGraphIS() {
+		t.Fatal("graph-IS cost not reported")
+	}
+
+	rng := xrand.New(7)
+	embs := make([][]float64, n)
+	for id := range embs {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64() * 0.05
+		}
+		v[id%4] += 1 // four tight class clusters
+		embs[id] = v
+	}
+	// Two identical epochs: the second replays the same embeddings, so every
+	// sample sits inside the drift budget and scoring serves from snapshots.
+	for round := 0; round < 2; round++ {
+		for start := 0; start < n; start += 16 {
+			fb := make([]Feedback, 0, 16)
+			for id := start; id < start+16; id++ {
+				fb = append(fb, Feedback{ID: id, Embedding: embs[id]})
+			}
+			p.OnBatchEnd(0, fb)
+		}
+	}
+
+	withNeighbors := 0
+	for id := 0; id < n; id++ {
+		close := g.SnapshotCloseNeighbors(id)
+		for _, nb := range close {
+			if nb%4 != id%4 {
+				t.Fatalf("sample %d has cross-class close neighbour %d", id, nb)
+			}
+		}
+		if len(close) > 0 {
+			withNeighbors++
+		}
+	}
+	if withNeighbors == 0 {
+		t.Fatal("no sample learned any close neighbours")
+	}
+
+	searches, hits := p.SearchStats()
+	if searches == 0 {
+		t.Fatal("scoring issued no searches")
+	}
+	if hits == 0 {
+		t.Fatal("second identical round served no snapshot hits")
+	}
+
+	// Cache mechanics still behave like a Basic-cache policy.
+	if lk := p.Lookup(0); lk.Source != SourceMiss {
+		t.Fatalf("empty cache lookup = %+v", lk)
+	}
+	p.OnMiss(0, 1)
+	if lk := p.Lookup(0); lk.Source != SourceCache || lk.ServedID != 0 {
+		t.Fatalf("resident lookup = %+v", lk)
+	}
+}

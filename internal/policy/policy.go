@@ -87,3 +87,12 @@ type ScoreStdReporter interface {
 type RatioReporter interface {
 	ImpRatio() float64
 }
+
+// SearchStatsReporter is implemented by policies whose scoring path queries
+// an ANN index. Searches is the cumulative count of real SearchKNN calls;
+// SnapshotHits is how many scoring requests were served from the
+// drift-bounded neighborhood-snapshot cache instead (0 when disabled). The
+// trainer diffs both per epoch so SearchKNN-calls/epoch is reportable.
+type SearchStatsReporter interface {
+	SearchStats() (searches, snapshotHits int64)
+}

@@ -1,0 +1,294 @@
+package semgraph
+
+import (
+	"math"
+
+	"spidercache/internal/telemetry"
+)
+
+// DefaultSnapshotDrift is the drift budget used when a caller enables
+// neighborhood snapshots without choosing one. Embeddings are
+// unit-normalised (pairwise distances in [0, 2]); 0.15 sits far below the
+// edge threshold (-ln(Alpha)/Lambda ≈ 1.05) and the near-duplicate bar
+// (≈ 0.43), so a snapshot served inside this budget still describes the
+// same neighbourhood regime the fresh search would find. The
+// staleness-vs-accuracy sweep (`spiderbench -exp snapshot`) measures where
+// this stops being true.
+const DefaultSnapshotDrift = 0.15
+
+// snapEntry is one sample's cached neighborhood snapshot.
+//
+// anchor is the normalised embedding the sample was last *upserted into the
+// ANN index* with. It only changes together with an index upsert, which is
+// what makes staleness hard-bounded: the indexed position equals anchor,
+// scoring is served from the snapshot only while the live embedding stays
+// within the drift budget of anchor, and the cached lists were computed
+// from a query that was itself within the budget of anchor. So the lists
+// are never more than 2×budget away from the embedding they are served for,
+// and the indexed position never more than 1×budget from the live one.
+type snapEntry struct {
+	anchor []float64
+	// Cached ScoreResult pieces from the last real SearchKNN.
+	neighbors []int
+	close     []int
+	same      int
+	other     int
+	score     float64
+	// valid reports the lists are populated and were computed against the
+	// current anchor. An upsert (anchor move) clears it.
+	valid bool
+	// dirty marks the lists as poisoned by a *member's* movement: some
+	// sample in neighbors moved past its own budget, so this snapshot may
+	// reference a position that no longer exists. Served snapshots are
+	// never dirty.
+	dirty bool
+}
+
+// snapshotStore caches per-sample neighborhood snapshots and maintains the
+// reverse index used for bidirectional invalidation. It is not safe for
+// concurrent mutation; ScoreBatch mutates it only in the serial phases and
+// reads it from parallel workers in between (the workers never write).
+type snapshotStore struct {
+	budget  float64
+	entries []snapEntry
+	// holders[m] lists the snapshot ids whose neighbor list contains m —
+	// the reverse index that lets an upsert of m dirty every snapshot that
+	// would otherwise keep serving m's old position.
+	holders [][]int
+
+	// Cumulative counters (read via SnapshotStats).
+	hits        int64
+	refreshes   int64
+	invalidated int64
+	bytes       int64 // approximate resident bytes, kept incrementally
+}
+
+// snapEntryOverhead approximates the fixed per-entry cost (struct header,
+// slice headers, bookkeeping) charged to the memory gauge.
+const snapEntryOverhead = 96
+
+func newSnapshotStore(n int, budget float64) *snapshotStore {
+	return &snapshotStore{
+		budget:  budget,
+		entries: make([]snapEntry, n),
+		holders: make([][]int, n),
+	}
+}
+
+// distTo returns the Euclidean distance between two equal-length vectors.
+func distTo(a, b []float64) float64 {
+	var s float64
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// setAnchor records v as id's indexed position, reusing the previous
+// anchor's storage. The entry's lists become stale (valid=false): they were
+// computed around the old position.
+func (s *snapshotStore) setAnchor(id int, v []float64) {
+	ent := &s.entries[id]
+	if ent.anchor == nil {
+		s.bytes += int64(len(v))*8 + snapEntryOverhead
+	}
+	if cap(ent.anchor) < len(v) {
+		ent.anchor = make([]float64, len(v))
+	}
+	ent.anchor = ent.anchor[:len(v)]
+	copy(ent.anchor, v)
+	ent.valid = false
+}
+
+// invalidateDependents marks every snapshot whose neighbor list contains
+// id as dirty: id's indexed position moved past its budget, so those lists
+// may reference a vanished neighbor. Returns how many snapshots were newly
+// dirtied.
+func (s *snapshotStore) invalidateDependents(id int) int {
+	n := 0
+	for _, h := range s.holders[id] {
+		ent := &s.entries[h]
+		if ent.valid && !ent.dirty {
+			ent.dirty = true
+			n++
+		}
+	}
+	s.invalidated += int64(n)
+	return n
+}
+
+// serveable reports whether id's snapshot may answer a scoring request for
+// the normalised embedding q.
+func (s *snapshotStore) serveable(id int, q []float64) bool {
+	ent := &s.entries[id]
+	return ent.valid && !ent.dirty && distTo(q, ent.anchor) <= s.budget
+}
+
+// serve builds a ScoreResult from id's snapshot. The returned slices are
+// fresh copies, matching the fresh-search path where every result owns its
+// storage. Safe to call from parallel workers: it only reads the store.
+func (s *snapshotStore) serve(id int) ScoreResult {
+	ent := &s.entries[id]
+	return ScoreResult{
+		ID:             id,
+		Score:          ent.score,
+		Same:           ent.same,
+		Other:          ent.other,
+		Neighbors:      copyIDs(ent.neighbors),
+		CloseNeighbors: copyIDs(ent.close),
+	}
+}
+
+// install records a fresh search result as id's snapshot: the old list's
+// reverse-index memberships are retired, the new ones registered, and the
+// entry becomes clean and valid. Must run serially.
+func (s *snapshotStore) install(id int, res *ScoreResult) {
+	ent := &s.entries[id]
+	oldBytes := int64(len(ent.neighbors)+len(ent.close)) * 8
+	for _, m := range ent.neighbors {
+		s.dropHolder(m, id)
+	}
+	ent.neighbors = append(ent.neighbors[:0], res.Neighbors...)
+	ent.close = append(ent.close[:0], res.CloseNeighbors...)
+	ent.same = res.Same
+	ent.other = res.Other
+	ent.score = res.Score
+	ent.valid = true
+	ent.dirty = false
+	for _, m := range ent.neighbors {
+		s.holders[m] = append(s.holders[m], id)
+		s.bytes += 8 // reverse-index membership
+	}
+	s.bytes += int64(len(ent.neighbors)+len(ent.close))*8 - oldBytes
+}
+
+// dropHolder removes one occurrence of holder from m's reverse-index list
+// (swap-remove; order is irrelevant, the list is an unordered set).
+func (s *snapshotStore) dropHolder(m, holder int) {
+	hs := s.holders[m]
+	for i, h := range hs {
+		if h == holder {
+			last := len(hs) - 1
+			hs[i] = hs[last]
+			s.holders[m] = hs[:last]
+			s.bytes -= 8
+			return
+		}
+	}
+}
+
+// SnapshotStats summarises the snapshot cache's activity and footprint.
+type SnapshotStats struct {
+	// Hits counts scoring requests served from a snapshot (no SearchKNN).
+	Hits int64
+	// Refreshes counts real searches that (re)populated a snapshot.
+	Refreshes int64
+	// Invalidated counts snapshots dirtied because a member sample's
+	// indexed position moved past the drift budget.
+	Invalidated int64
+	// Entries is the number of samples holding a valid snapshot.
+	Entries int
+	// Bytes approximates the snapshot store's resident memory.
+	Bytes int64
+}
+
+// SnapshotStats returns the snapshot cache's cumulative counters, or the
+// zero value when snapshots are disabled. Entries is computed on demand
+// (O(n)); the counters are O(1) reads.
+func (g *Grapher) SnapshotStats() SnapshotStats {
+	if g.snaps == nil {
+		return SnapshotStats{}
+	}
+	st := SnapshotStats{
+		Hits:        g.snaps.hits,
+		Refreshes:   g.snaps.refreshes,
+		Invalidated: g.snaps.invalidated,
+		Bytes:       g.snaps.bytes,
+	}
+	for i := range g.snaps.entries {
+		if g.snaps.entries[i].valid {
+			st.Entries++
+		}
+	}
+	return st
+}
+
+// SnapshotDrift returns the configured drift budget (0 = snapshots off).
+func (g *Grapher) SnapshotDrift() float64 { return g.cfg.SnapshotDrift }
+
+// SnapshotNeighbors returns id's cached edge-connected neighbour list, or
+// nil when the sample holds no valid snapshot. The slice is live store
+// state: callers must not mutate or retain it across Grapher calls.
+func (g *Grapher) SnapshotNeighbors(id int) []int {
+	if g.snaps == nil || id < 0 || id >= len(g.snaps.entries) {
+		return nil
+	}
+	ent := &g.snaps.entries[id]
+	if !ent.valid {
+		return nil
+	}
+	return ent.neighbors
+}
+
+// SnapshotCloseNeighbors returns id's cached near-duplicate same-class
+// neighbour list (the Homophily substitution set) from its snapshot, or nil
+// when the sample holds no valid snapshot. The slice is live store state:
+// callers must not mutate or retain it across Grapher calls. This is the
+// learned semantic graph the GraphAware-sem cache policy consumes.
+func (g *Grapher) SnapshotCloseNeighbors(id int) []int {
+	if g.snaps == nil || id < 0 || id >= len(g.snaps.entries) {
+		return nil
+	}
+	ent := &g.snaps.entries[id]
+	if !ent.valid {
+		return nil
+	}
+	return ent.close
+}
+
+// SearchCalls reports the cumulative number of real SearchKNN calls this
+// grapher has issued (snapshot hits do not search). Safe for concurrent
+// reads.
+func (g *Grapher) SearchCalls() int64 { return g.searchCalls.Load() }
+
+// copyIDs returns an owned copy of ids, preserving nil-ness so snapshot
+// serving is indistinguishable from a fresh search that found no edges.
+func copyIDs(ids []int) []int {
+	if ids == nil {
+		return nil
+	}
+	out := make([]int, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// grapherTelemetry groups the grapher's instruments; with a nil registry
+// they are shared no-ops, so record sites stay unconditional.
+type grapherTelemetry struct {
+	snapHit     *telemetry.Counter
+	snapRefresh *telemetry.Counter
+	snapInvalid *telemetry.Counter
+	snapBytes   *telemetry.Gauge
+	searches    *telemetry.Counter
+}
+
+func newGrapherTelemetry(reg *telemetry.Registry) grapherTelemetry {
+	reg.Describe("semgraph_snapshot_total", "neighborhood snapshot events by result (hit/refresh/invalidated)")
+	reg.Describe("semgraph_snapshot_bytes", "approximate resident bytes of the neighborhood snapshot store")
+	reg.Describe("semgraph_searchknn_total", "real ANN SearchKNN calls issued by the scoring path")
+	return grapherTelemetry{
+		snapHit:     reg.Counter("semgraph_snapshot_total", telemetry.Labels{"result": "hit"}),
+		snapRefresh: reg.Counter("semgraph_snapshot_total", telemetry.Labels{"result": "refresh"}),
+		snapInvalid: reg.Counter("semgraph_snapshot_total", telemetry.Labels{"result": "invalidated"}),
+		snapBytes:   reg.Gauge("semgraph_snapshot_bytes", nil),
+		searches:    reg.Counter("semgraph_searchknn_total", nil),
+	}
+}
+
+// SetMetrics attaches a telemetry registry: the grapher records snapshot
+// hit/refresh/invalidation counters, the snapshot memory gauge and the
+// SearchKNN call counter into it. Nil detaches (no-op instruments).
+func (g *Grapher) SetMetrics(reg *telemetry.Registry) {
+	g.tel = newGrapherTelemetry(reg)
+}

@@ -1,0 +1,478 @@
+package semgraph
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"spidercache/internal/hnsw"
+	"spidercache/internal/xrand"
+)
+
+// testGrapherDrift is testGrapher with a snapshot drift budget.
+func testGrapherDrift(t *testing.T, n int, seed uint64, drift float64) *Grapher {
+	t.Helper()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	ix, err := hnsw.New(hnsw.Config{M: 8, EfConstruction: 64, EfSearch: 48, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.SnapshotDrift = drift
+	g, err := New(cfg, labels, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// exactSearcher is a deterministic brute-force NeighborSearcher that also
+// counts upserts, so tests can assert exactly when the drift gate skips an
+// index write.
+type exactSearcher struct {
+	vecs    map[int][]float64
+	upserts int
+}
+
+func newExactSearcher() *exactSearcher { return &exactSearcher{vecs: map[int][]float64{}} }
+
+func (s *exactSearcher) Upsert(id int, vec []float64) error {
+	s.upserts++
+	v := make([]float64, len(vec))
+	copy(v, vec)
+	s.vecs[id] = v
+	return nil
+}
+
+func (s *exactSearcher) SearchKNN(q []float64, k int) []hnsw.Result {
+	ids := make([]int, 0, len(s.vecs))
+	//lint:ignore determinism results are sorted by (dist, id) below, so map order cannot leak
+	for id := range s.vecs {
+		ids = append(ids, id)
+	}
+	res := make([]hnsw.Result, 0, len(ids))
+	for _, id := range ids {
+		res = append(res, hnsw.Result{ID: id, Dist: distTo(q, s.vecs[id])})
+	}
+	sort.Slice(res, func(a, b int) bool {
+		if res[a].Dist != res[b].Dist {
+			return res[a].Dist < res[b].Dist
+		}
+		return res[a].ID < res[b].ID
+	})
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}
+
+func (s *exactSearcher) Len() int { return len(s.vecs) }
+
+// TestSnapshotValidate covers the new config bounds.
+func TestSnapshotValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SnapshotDrift = -0.1
+	if cfg.Validate() == nil {
+		t.Fatal("negative SnapshotDrift accepted")
+	}
+	cfg.SnapshotDrift = 2.5
+	if cfg.Validate() == nil {
+		t.Fatal("SnapshotDrift >= 2 accepted")
+	}
+	cfg.SnapshotDrift = DefaultSnapshotDrift
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotDriftZeroEquivalence is the acceptance-criteria equivalence
+// test: a grapher built with SnapshotDrift 0 must be bitwise-identical to
+// the always-fresh path over a multi-epoch workload — same per-batch
+// results, same score table, same statistics — with the snapshot machinery
+// fully disabled.
+func TestSnapshotDriftZeroEquivalence(t *testing.T) {
+	const n, dim = 96, 12
+	fresh := testGrapher(t, n, 5)
+	zero := testGrapherDrift(t, n, 5, 0)
+	if zero.snaps != nil {
+		t.Fatal("SnapshotDrift 0 built a snapshot store")
+	}
+	if st := zero.SnapshotStats(); st != (SnapshotStats{}) {
+		t.Fatalf("disabled snapshots report stats %+v", st)
+	}
+
+	for epoch := uint64(0); epoch < 3; epoch++ {
+		ids, embs := testBatches(n, dim, 77+epoch)
+		for b := range ids {
+			fres, err := fresh.ScoreBatch(ids[b], embs[b])
+			if err != nil {
+				t.Fatal(err)
+			}
+			zres, err := zero.ScoreBatch(ids[b], embs[b])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fres, zres) {
+				t.Fatalf("epoch %d batch %d: budget-0 results differ from always-fresh", epoch, b)
+			}
+		}
+	}
+	for id := 0; id < n; id++ {
+		if fresh.ScoreOf(id) != zero.ScoreOf(id) {
+			t.Fatalf("score table diverged at id %d", id)
+		}
+	}
+	if fresh.ScoreStd() != zero.ScoreStd() || fresh.ScoreMean() != zero.ScoreMean() {
+		t.Fatal("aggregate statistics diverged")
+	}
+	if fresh.SearchCalls() != zero.SearchCalls() {
+		t.Fatalf("search counts diverged: fresh %d, budget-0 %d", fresh.SearchCalls(), zero.SearchCalls())
+	}
+}
+
+// TestSnapshotAlwaysExceedingBudgetMatchesFresh drives the snapshot code
+// path with a budget so small every embedding exceeds it: the drift-gated
+// phases must then reproduce the always-fresh results bitwise, proving the
+// restructured ScoreBatch introduces no divergence of its own.
+func TestSnapshotAlwaysExceedingBudgetMatchesFresh(t *testing.T) {
+	const n, dim = 96, 12
+	fresh := testGrapher(t, n, 5)
+	tiny := testGrapherDrift(t, n, 5, 1e-9)
+	if tiny.snaps == nil {
+		t.Fatal("positive budget did not enable snapshots")
+	}
+
+	for epoch := uint64(0); epoch < 3; epoch++ {
+		// New noise every epoch: normalised embeddings always move far
+		// beyond 1e-9, so no sample is ever served from a snapshot.
+		ids, embs := testBatches(n, dim, 123+epoch)
+		for b := range ids {
+			fres, err := fresh.ScoreBatch(ids[b], embs[b])
+			if err != nil {
+				t.Fatal(err)
+			}
+			tres, err := tiny.ScoreBatch(ids[b], embs[b])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fres, tres) {
+				t.Fatalf("epoch %d batch %d: snapshot-path results differ from fresh", epoch, b)
+			}
+		}
+	}
+	if hits := tiny.SnapshotStats().Hits; hits != 0 {
+		t.Fatalf("always-exceeding budget served %d snapshot hits", hits)
+	}
+	if fresh.SearchCalls() != tiny.SearchCalls() {
+		t.Fatalf("search counts diverged: %d vs %d", fresh.SearchCalls(), tiny.SearchCalls())
+	}
+}
+
+// TestSnapshotRepeatedEpochSkipsSearches is the perf contract: replaying
+// identical embeddings must serve every sample from its snapshot — zero
+// additional SearchKNN calls — while recording the same scores.
+func TestSnapshotRepeatedEpochSkipsSearches(t *testing.T) {
+	const n, dim = 64, 12
+	g := testGrapherDrift(t, n, 7, DefaultSnapshotDrift)
+	g.SetWorkers(4)
+	rng := xrand.New(3)
+	ids := make([]int, n)
+	embs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		ids[i] = i
+		embs[i] = clusteredEmbedding(i, dim, rng)
+	}
+	first, err := g.ScoreBatch(ids, embs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := g.SearchCalls()
+	if afterFirst != int64(n) {
+		t.Fatalf("first pass searched %d times, want %d", afterFirst, n)
+	}
+
+	second, err := g.ScoreBatch(ids, embs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.SearchCalls() != afterFirst {
+		t.Fatalf("replay searched %d more times, want 0", g.SearchCalls()-afterFirst)
+	}
+	st := g.SnapshotStats()
+	if st.Hits != int64(n) {
+		t.Fatalf("replay hits = %d, want %d", st.Hits, n)
+	}
+	if st.Entries != n {
+		t.Fatalf("valid snapshot entries = %d, want %d", st.Entries, n)
+	}
+	if st.Bytes <= 0 {
+		t.Fatal("snapshot store reports no resident bytes")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("snapshot-served results differ from the fresh results they cached")
+	}
+}
+
+// TestSnapshotInvalidationOnNeighborMove is the bidirectional-invalidation
+// test: moving sample B past its drift budget must dirty the snapshot of A
+// (which holds B in its neighbour list), forcing A's next scoring to a
+// fresh search even though A itself never moved.
+func TestSnapshotInvalidationOnNeighborMove(t *testing.T) {
+	labels := []int{0, 0, 0}
+	s := newExactSearcher()
+	cfg := DefaultConfig()
+	cfg.SnapshotDrift = 0.2
+	g, err := New(cfg, labels, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := []float64{1, 0, 0}
+	b := []float64{0.99, 0.14, 0} // within edge distance of a
+	c := []float64{0, 0, 1}       // far from both
+	if _, err := g.ScoreBatch([]int{0, 1, 2}, [][]float64{a, b, c}); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.SnapshotNeighbors(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("A's snapshot neighbours = %v, want [1]", got)
+	}
+
+	// Move B across the sphere: far past its 0.2 budget.
+	searchesBefore := g.SearchCalls()
+	if _, err := g.ScoreBatch([]int{1}, [][]float64{{0, 1, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if inv := g.SnapshotStats().Invalidated; inv < 1 {
+		t.Fatalf("B's move invalidated %d snapshots, want >= 1 (A's)", inv)
+	}
+	if g.SearchCalls() != searchesBefore+1 {
+		t.Fatalf("B's re-score searched %d times, want 1", g.SearchCalls()-searchesBefore)
+	}
+
+	// A unchanged: its snapshot is dirty, so scoring must search fresh and
+	// rebuild the neighbour list without the vanished B.
+	res, err := g.ScoreBatch([]int{0}, [][]float64{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.SearchCalls() != searchesBefore+2 {
+		t.Fatal("A was served from a dirty snapshot")
+	}
+	for _, nb := range res[0].Neighbors {
+		if nb == 1 {
+			t.Fatal("A's refreshed neighbours still reference moved-away B")
+		}
+	}
+	if got := g.SnapshotNeighbors(0); len(got) != 0 {
+		t.Fatalf("A's reinstalled snapshot = %v, want empty", got)
+	}
+}
+
+// TestSnapshotUpdateDriftGate checks the single-sample API coherence: an
+// Update within the budget skips the index write entirely; one past the
+// budget re-indexes and dirties dependents.
+func TestSnapshotUpdateDriftGate(t *testing.T) {
+	labels := []int{0, 0}
+	s := newExactSearcher()
+	cfg := DefaultConfig()
+	cfg.SnapshotDrift = 0.2
+	g, err := New(cfg, labels, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ScoreBatch([]int{0, 1}, [][]float64{{1, 0, 0}, {0.99, 0.14, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	ups := s.upserts
+
+	// A nudge well inside the budget: no index write.
+	if err := g.Update(0, []float64{0.999, 0.02, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if s.upserts != ups {
+		t.Fatalf("within-budget Update wrote the index (%d upserts)", s.upserts-ups)
+	}
+
+	// A move past the budget: re-index + dirty sample 1's snapshot (it
+	// holds 0 as a neighbour).
+	invBefore := g.SnapshotStats().Invalidated
+	if err := g.Update(0, []float64{0, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.upserts != ups+1 {
+		t.Fatalf("past-budget Update made %d index writes, want 1", s.upserts-ups)
+	}
+	if g.SnapshotStats().Invalidated <= invBefore {
+		t.Fatal("past-budget Update did not dirty dependent snapshots")
+	}
+}
+
+// TestSnapshotDuplicateIDsLastWins keeps the duplicate-id contract on the
+// snapshot path: when a batch carries the same id twice, the recorded score
+// must match the last occurrence, exactly like sequential Score calls.
+func TestSnapshotDuplicateIDsLastWins(t *testing.T) {
+	const n, dim = 32, 8
+	g := testGrapherDrift(t, n, 11, DefaultSnapshotDrift)
+	g.SetWorkers(4)
+	ids, embs := testBatches(n, dim, 19) // every batch duplicates its first id
+	for b := range ids {
+		res, err := g.ScoreBatch(ids[b], embs[b])
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := res[len(res)-1]
+		if g.ScoreOf(last.ID) != last.Score {
+			t.Fatalf("batch %d: duplicate id %d recorded %v, want last occurrence's %v",
+				b, last.ID, g.ScoreOf(last.ID), last.Score)
+		}
+	}
+}
+
+// TestSnapshotRefreshScoringStress mixes snapshot hits, refreshes and
+// invalidations inside heavily parallel batches; run under -race it checks
+// the serve-from-store reads and the atomic search counter never conflict
+// with the fan-out's fresh searches.
+func TestSnapshotRefreshScoringStress(t *testing.T) {
+	const n, dim, rounds = 128, 12, 12
+	g := testGrapherDrift(t, n, 23, DefaultSnapshotDrift)
+	g.SetWorkers(8)
+	rng := xrand.New(41)
+	base := make([][]float64, n)
+	for i := range base {
+		base[i] = clusteredEmbedding(i, dim, rng)
+	}
+	ids := make([]int, n)
+	embs := make([][]float64, n)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < n; i++ {
+			ids[i] = i
+			// A few samples jump to a fresh draw each round (drift past
+			// the budget → refresh + dependant invalidation cascading
+			// through their cluster); the rest replay their base embedding
+			// (snapshot hits). Jumps are sparse because each jumper dirties
+			// up to K dependent snapshots — dense jumping would leave no
+			// hits to race against refreshes.
+			if i%32 == r%32 {
+				base[i] = clusteredEmbedding(i, dim, rng)
+			}
+			embs[i] = base[i]
+		}
+		if _, err := g.ScoreBatch(ids, embs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := g.SnapshotStats()
+	if st.Hits == 0 || st.Refreshes == 0 {
+		t.Fatalf("stress exercised no mixed traffic: %+v", st)
+	}
+	if math.IsNaN(g.ScoreStd()) {
+		t.Fatal("statistics corrupted")
+	}
+}
+
+// TestSnapshotMemoryAccounting sanity-checks the incremental byte gauge
+// against the store's actual contents after churn.
+func TestSnapshotMemoryAccounting(t *testing.T) {
+	const n, dim = 48, 10
+	g := testGrapherDrift(t, n, 31, DefaultSnapshotDrift)
+	rng := xrand.New(9)
+	ids := make([]int, n)
+	for e := 0; e < 4; e++ {
+		embs := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			ids[i] = i
+			embs[i] = clusteredEmbedding(i, dim, rng) // fresh draw: churn
+		}
+		if _, err := g.ScoreBatch(ids, embs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want int64
+	for i := range g.snaps.entries {
+		ent := &g.snaps.entries[i]
+		if ent.anchor != nil {
+			want += int64(len(ent.anchor))*8 + snapEntryOverhead
+		}
+		want += int64(len(ent.neighbors)+len(ent.close)) * 8
+	}
+	for _, hs := range g.snaps.holders {
+		want += int64(len(hs)) * 8
+	}
+	if g.snaps.bytes != want {
+		t.Fatalf("incremental bytes %d, recomputed %d", g.snaps.bytes, want)
+	}
+	if g.SnapshotStats().Bytes != want {
+		t.Fatal("SnapshotStats.Bytes disagrees with the store")
+	}
+}
+
+// BenchmarkScoreBatchSnapshot measures the repeated-epoch scoring workload
+// with snapshots off vs. on. Embeddings jitter slightly between epochs
+// (well inside the default budget), the regime the snapshot cache targets.
+// The searches/op metric is the acceptance criterion's SearchKNN count.
+func BenchmarkScoreBatchSnapshot(b *testing.B) {
+	const n, dim, batch = 2048, 16, 64
+	for _, bench := range []struct {
+		name  string
+		drift float64
+	}{
+		{"off", 0},
+		{"on", DefaultSnapshotDrift},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			labels := make([]int, n)
+			for i := range labels {
+				labels[i] = i % 10
+			}
+			ix, err := hnsw.New(hnsw.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.SnapshotDrift = bench.drift
+			g, err := New(cfg, labels, ix)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := xrand.New(4)
+			base := make([][]float64, n)
+			ids := make([]int, n)
+			for id := 0; id < n; id++ {
+				ids[id] = id
+				base[id] = clusteredEmbedding(id, dim, rng)
+			}
+			// Warm pass: populate the index (and snapshots when enabled).
+			if _, err := g.ScoreBatch(ids, base); err != nil {
+				b.Fatal(err)
+			}
+			// Steady-state batches sweep the dataset in order (a repeated
+			// epoch) with tiny per-visit jitter — an order of magnitude
+			// inside the 0.15 budget.
+			batchIDs := make([]int, batch)
+			embs := make([][]float64, batch)
+			for i := range embs {
+				embs[i] = make([]float64, dim)
+			}
+			startSearches := g.SearchCalls()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < batch; j++ {
+					id := (i*batch + j) % n
+					batchIDs[j] = id
+					for d := 0; d < dim; d++ {
+						embs[j][d] = base[id][d] + rng.NormFloat64()*0.003
+					}
+				}
+				if _, err := g.ScoreBatch(batchIDs, embs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(g.SearchCalls()-startSearches)/float64(b.N), "searches/op")
+		})
+	}
+}

@@ -171,6 +171,12 @@ type EpochStats struct {
 	TrainLoss float64 // mean training loss over the epoch
 	ScoreStd  float64 // σ of importance scores (0 if not reported)
 	ImpRatio  float64 // Importance Cache share (0 if not reported)
+
+	// SearchKNN and SnapshotHits are this epoch's ANN search count and
+	// snapshot-served scoring count (both 0 if the policy does not report
+	// search statistics; SnapshotHits is 0 with snapshots disabled).
+	SearchKNN    int64
+	SnapshotHits int64
 }
 
 // HitRatio returns (cache + substitute hits) / requests.
@@ -358,6 +364,7 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 
 	tel := newRunTelemetry(cfg.Metrics)
 	baseLR := cfg.MLP.LR
+	var lastSearches, lastSnapHits int64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		// Cosine learning-rate decay to 10% of the base rate, the standard
 		// schedule for the paper's fixed-epoch training runs; it keeps late
@@ -377,6 +384,12 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 		}
 		if rep, ok := pol.(policy.RatioReporter); ok {
 			st.ImpRatio = rep.ImpRatio()
+		}
+		if rep, ok := pol.(policy.SearchStatsReporter); ok {
+			searches, snapHits := rep.SearchStats()
+			st.SearchKNN = searches - lastSearches
+			st.SnapshotHits = snapHits - lastSnapHits
+			lastSearches, lastSnapHits = searches, snapHits
 		}
 		res.Epochs = append(res.Epochs, st)
 		if st.Accuracy > res.BestAcc {

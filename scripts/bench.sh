@@ -55,6 +55,11 @@ go run ./cmd/spiderload -ops "$AB_OPS" -conns 2 -capacity 4096 -keys 16384 -zipf
 } > BENCH_7.json
 echo "wrote BENCH_7.json (mutex+LRU vs arena+TinyLFU A/B)"
 
+# Neighborhood-snapshot A/B: ScoreBatch on a repeated-epoch workload with the
+# snapshot cache off vs on at the default drift budget. Persists ns/op,
+# SearchKNN calls per epoch, and the snapshot hit rate as BENCH_8.json.
+go run ./cmd/spiderbench -snapshot-ab BENCH_8.json
+
 # Cluster resilience smoke (opt-in: boots real daemon processes and kills
 # one mid-run, so it is slower and port-hungry). Persists BENCH_6.json.
 #

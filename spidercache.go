@@ -33,14 +33,16 @@ import (
 
 // Policy names accepted by TrainConfig.Policy.
 const (
-	PolicyBaseline       = "baseline"   // LRU cache + random sampling
-	PolicyLFU            = "lfu"        // LFU cache + random sampling
-	PolicyCoorDL         = "coordl"     // static MinIO cache + random sampling
-	PolicySHADE          = "shade"      // loss-based IS + importance cache
-	PolicyICacheImp      = "icache-imp" // iCache, importance region only
-	PolicyICache         = "icache"     // full iCache with random replacement
-	PolicySpiderCacheImp = "spider-imp" // SpiderCache, Importance Cache only
-	PolicySpiderCache    = "spider"     // full SpiderCache
+	PolicyBaseline       = "baseline"       // LRU cache + random sampling
+	PolicyLFU            = "lfu"            // LFU cache + random sampling
+	PolicyCoorDL         = "coordl"         // static MinIO cache + random sampling
+	PolicyGraphAware     = "graphaware"     // GreedyDual cache with label-ring neighbour spill
+	PolicyGraphAwareSem  = "graphaware-sem" // GraphAware wired to the learned semantic graph
+	PolicySHADE          = "shade"          // loss-based IS + importance cache
+	PolicyICacheImp      = "icache-imp"     // iCache, importance region only
+	PolicyICache         = "icache"         // full iCache with random replacement
+	PolicySpiderCacheImp = "spider-imp"     // SpiderCache, Importance Cache only
+	PolicySpiderCache    = "spider"         // full SpiderCache
 )
 
 // Policies lists every accepted policy name in evaluation order.
@@ -146,6 +148,13 @@ type TrainConfig struct {
 	// goroutine. Deterministic; see trainer.Config.Prefetch for the
 	// one-batch staleness caveat. Default off.
 	Prefetch bool
+	// SnapshotDrift enables SpiderCache's neighborhood-snapshot cache when
+	// positive: per-sample scoring is served from cached kNN results while
+	// the sample's embedding stays within this distance of its indexed
+	// position, and only drift past the budget triggers a fresh ANN search.
+	// 0 (the default) keeps the always-fresh scoring path. Applies to the
+	// spider/spider-imp/graphaware-sem policies only.
+	SnapshotDrift float64
 	// Metrics receives live serving-path and cache telemetry (per-tier
 	// lookup counters, fetch-latency histograms, elastic imp_ratio/σ
 	// gauges); nil disables recording. See internal/telemetry and the
@@ -275,6 +284,7 @@ func train(cfg TrainConfig) (*Result, error) {
 		DisableElastic: cfg.StaticRatio,
 		Metrics:        cfg.Metrics,
 		Workers:        cfg.Threads,
+		SnapshotDrift:  cfg.SnapshotDrift,
 	})
 	if err != nil {
 		return nil, err

@@ -31,7 +31,7 @@ func TestDatasetConstructors(t *testing.T) {
 }
 
 func TestRegistries(t *testing.T) {
-	if len(Policies()) != 9 {
+	if len(Policies()) != 10 {
 		t.Fatalf("Policies() = %v", Policies())
 	}
 	if len(Models()) != 4 {
