@@ -10,15 +10,19 @@
 //	go run ./cmd/spiderlint ./internal/kvserver   # one package
 //	go run ./cmd/spiderlint -checks determinism,mutexhygiene ./...
 //	go run ./cmd/spiderlint -disable errcheck ./...
+//	go run ./cmd/spiderlint -json ./...           # machine-readable findings
 //	go run ./cmd/spiderlint -list
 //
-// Findings print as file:line:col: [check] message. Exit status: 0 clean,
-// 1 findings, 2 load or usage failure. Suppress an intentional finding in
-// place with `//lint:ignore <check> <reason>` on, or directly above, the
-// flagged line.
+// Findings print as file:line:col: [check] message, or with -json as a
+// JSON array of {file, line, col, check, message} objects (always an
+// array, `[]` when clean, so CI can diff results across runs). Exit
+// status: 0 clean, 1 findings, 2 load or usage failure. Suppress an
+// intentional finding in place with `//lint:ignore <check> <reason>` on,
+// or directly above, the flagged line.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +31,15 @@ import (
 
 	"spidercache/internal/lint"
 )
+
+// jsonFinding is the -json wire shape of one diagnostic.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -38,6 +51,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	var (
 		checksFlag  = fs.String("checks", "", "comma-separated checks to run (default: all)")
 		disableFlag = fs.String("disable", "", "comma-separated checks to skip")
+		jsonFlag    = fs.Bool("json", false, "emit findings as a JSON array instead of text")
 		listFlag    = fs.Bool("list", false, "list available checks and exit")
 		dirFlag     = fs.String("C", "", "module root (default: locate go.mod from the working directory)")
 	)
@@ -81,15 +95,42 @@ func run(args []string, stdout, stderr *os.File) int {
 	diags = filterByPatterns(m, diags, fs.Args())
 
 	cwd, _ := os.Getwd()
+	relName := func(name string) string {
+		if cwd == "" {
+			return name
+		}
+		if rel, relErr := filepath.Rel(cwd, name); relErr == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+		return name
+	}
+
+	if *jsonFlag {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:    relName(d.Pos.Filename),
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Check:   d.Check,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "spiderlint:", err)
+			return 2
+		}
+		if len(findings) > 0 {
+			return 1
+		}
+		return 0
+	}
+
 	bad := 0
 	for _, d := range diags {
-		pos := d.Pos
-		if cwd != "" {
-			if rel, relErr := filepath.Rel(cwd, pos.Filename); relErr == nil && !strings.HasPrefix(rel, "..") {
-				pos.Filename = rel
-			}
-		}
-		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Check, d.Message)
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", relName(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 		bad++
 	}
 	if bad > 0 {

@@ -1,12 +1,94 @@
 package main
 
 import (
+	"encoding/json"
 	"go/token"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"spidercache/internal/lint"
 )
+
+// writeTempModule lays a tiny module on disk and returns its root.
+func writeTempModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpmod\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// runCapture invokes run() with stdout captured to a file.
+func runCapture(t *testing.T, args []string) (int, string) {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	code := run(args, out, os.Stderr)
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(data)
+}
+
+// TestJSONOutput drives run() end to end: findings must arrive as a JSON
+// array of {file, line, col, check, message} with exit 1, and a clean
+// module must print an empty array (not null) with exit 0, so CI can diff
+// results across runs without special-casing.
+func TestJSONOutput(t *testing.T) {
+	dirty := writeTempModule(t, `package main
+
+import "sync"
+
+var mu sync.Mutex
+
+func leak() {
+	mu.Lock()
+}
+
+func main() {}
+`)
+	code, out := runCapture(t, []string{"-json", "-C", dirty, "-checks", "mutexhygiene"})
+	if code != 1 {
+		t.Fatalf("dirty module: exit %d, want 1; output:\n%s", code, out)
+	}
+	var findings []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1:\n%s", len(findings), out)
+	}
+	f := findings[0]
+	if f.Check != "mutexhygiene" || f.Line != 8 || f.Col == 0 ||
+		!strings.HasSuffix(f.File, "main.go") || !strings.Contains(f.Message, "never released") {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+
+	clean := writeTempModule(t, "package main\n\nfunc main() {}\n")
+	code, out = runCapture(t, []string{"-json", "-C", clean})
+	if code != 0 {
+		t.Fatalf("clean module: exit %d, want 0; output:\n%s", code, out)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean module output = %q, want empty JSON array", out)
+	}
+}
 
 func TestSelectChecks(t *testing.T) {
 	all := lint.CheckNames()

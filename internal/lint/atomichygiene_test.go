@@ -1,0 +1,138 @@
+package lint
+
+import "testing"
+
+func TestAtomicHygienePositive(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"app": {"app.go": `package app
+
+import "sync/atomic"
+
+type Sketch struct {
+	words []uint64
+	n     uint64
+}
+
+// The atomic accesses that put words and n under the all-or-nothing rule.
+func (s *Sketch) Inc(i int) {
+	atomic.AddUint64(&s.words[i], 1)
+	atomic.AddUint64(&s.n, 1)
+}
+
+// Plain element read next to the CAS-maintained counters.
+func (s *Sketch) BadElemRead(i int) uint64 {
+	return s.words[i]
+}
+
+// Plain element write.
+func (s *Sketch) BadElemWrite(i int) {
+	s.words[i] = 0
+}
+
+// Plain read and write of a directly-atomic scalar.
+func (s *Sketch) BadDirect() uint64 {
+	s.n++
+	return s.n
+}
+`},
+	})
+	diags := runNamed(t, m, DefaultConfig(), "atomichygiene")
+	wantDiag(t, diags, "atomichygiene", "plain read of an element of words", 1)
+	wantDiag(t, diags, "atomichygiene", "plain write to an element of words", 1)
+	wantDiag(t, diags, "atomichygiene", "plain write to n", 1)
+	wantDiag(t, diags, "atomichygiene", "plain read of n", 1)
+}
+
+// TestAtomicHygieneAliasOnly is the beyond-syntax case: the plain write
+// goes through a local alias of the field, so no textual match on the
+// field name can find it — only type-resolved alias tracking does.
+func TestAtomicHygieneAliasOnly(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"app": {"app.go": `package app
+
+import "sync/atomic"
+
+type Sketch struct {
+	words []uint64
+}
+
+func (s *Sketch) Inc(i int) {
+	atomic.AddUint64(&s.words[i], 1)
+}
+
+// The alias hides the field: row[0] = 1 mentions neither s nor words.
+func (s *Sketch) BadAlias() {
+	row := s.words
+	row[0] = 1
+}
+`},
+	})
+	diags := runNamed(t, m, DefaultConfig(), "atomichygiene")
+	wantDiag(t, diags, "atomichygiene", "plain write to an element of words", 1)
+}
+
+func TestAtomicHygieneNegative(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"app": {"app.go": `package app
+
+import "sync/atomic"
+
+type Sketch struct {
+	words []uint64
+	rows  [2][]uint64
+	cap   int
+}
+
+// Elements are atomic at depth 1 (words) and depth 2 (rows).
+func (s *Sketch) Touch(r, w int) {
+	atomic.AddUint64(&s.words[w], 1)
+	atomic.AddUint64(&s.rows[r][w], 1)
+}
+
+// Header bookkeeping is legal: composite-literal init, slice-header
+// writes, range over the headers, and untracked sibling fields.
+func NewSketch(n int) *Sketch {
+	s := &Sketch{words: make([]uint64, n), cap: n}
+	for i := range s.rows {
+		s.rows[i] = make([]uint64, n)
+	}
+	return s
+}
+
+// Atomic access through a header alias is the sanctioned pattern.
+func (s *Sketch) Halve() {
+	row := s.rows[0]
+	for w := range row {
+		atomic.StoreUint64(&row[w], 0)
+	}
+}
+
+func (s *Sketch) Cap() int { return s.cap }
+`},
+	})
+	wantNone(t, runNamed(t, m, DefaultConfig(), "atomichygiene"))
+}
+
+func TestAtomicHygieneSuppression(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"app": {"app.go": `package app
+
+import "sync/atomic"
+
+type Sketch struct {
+	n uint64
+}
+
+func (s *Sketch) Inc() {
+	atomic.AddUint64(&s.n, 1)
+}
+
+// Teardown runs after every writer has been joined.
+func (s *Sketch) Drain() uint64 {
+	//lint:ignore atomichygiene single-threaded teardown; no concurrent writers remain
+	return s.n
+}
+`},
+	})
+	wantNone(t, runNamed(t, m, DefaultConfig(), "atomichygiene"))
+}

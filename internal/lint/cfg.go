@@ -1,0 +1,695 @@
+package lint
+
+// Intraprocedural control-flow graphs over go/ast, plus the generic
+// forward worklist solver the path-sensitive checks (mutexhygiene,
+// pairhygiene, lockorder) run on. Built on the standard library only,
+// like the rest of the framework.
+//
+// The graph decomposes one function body into basic blocks of
+// straight-line nodes. Composite control statements never appear as
+// nodes; instead their pieces are distributed:
+//
+//   - if/for:       the condition expression is a node in the head block
+//   - range:        the ranged expression is a node in the head block
+//   - switch:       init/tag in the head; each case's exprs start its block
+//   - select:       the *ast.SelectStmt itself is a node in the head block
+//     (shallow: a marker that a select blocks here — analyzers
+//     must not descend into it, the clause bodies have their
+//     own blocks) and each clause's comm statement starts the
+//     clause block
+//   - return:       the *ast.ReturnStmt is the block's final node, with an
+//     edge to Exit
+//   - panic(x):     edge to PanicExit (a separate sink, so leak-style
+//     checks can reason about returns only)
+//   - goto/break/continue/fallthrough: edges, never nodes
+//
+// Everything else (assignments, calls, defer, go, send, incdec, decls)
+// is an ordinary node in source order. Function literals are opaque
+// values: their bodies get their own graphs, never nodes in the
+// enclosing one.
+//
+// Branch targets carry an optional entry assumption: the then-block of
+// `if cond` records (cond, true), the else-block (cond, false), a
+// for-loop's body (cond, true) and its follow block (cond, false).
+// Analyzers that understand particular predicate shapes (pairhygiene's
+// `err != nil` guard) refine their facts with it; everyone else ignores
+// it.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// cfgBlock is one basic block.
+type cfgBlock struct {
+	index int
+	nodes []ast.Node
+	succs []*cfgBlock
+	preds []*cfgBlock
+
+	// Entry assumption: when assumeOK, the branch condition assumeCond
+	// evaluated to assumeVal on every edge into this block from its
+	// branching predecessor. Only set on dedicated branch-entry blocks.
+	assumeCond ast.Expr
+	assumeVal  bool
+	assumeOK   bool
+}
+
+func (b *cfgBlock) addSucc(s *cfgBlock) {
+	for _, have := range b.succs {
+		if have == s {
+			return
+		}
+	}
+	b.succs = append(b.succs, s)
+	s.preds = append(s.preds, b)
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	blocks []*cfgBlock
+	entry  *cfgBlock
+	// exit collects every normal return and the fall-off-the-end path.
+	exit *cfgBlock
+	// panicExit collects explicit panic(...) terminations. Kept apart from
+	// exit so resource-leak checks can confine themselves to returns.
+	panicExit *cfgBlock
+}
+
+// cfgLabel tracks one labeled statement's jump targets while building.
+type cfgLabel struct {
+	breakTo    *cfgBlock // labeled loop/switch/select break target
+	continueTo *cfgBlock // labeled loop continue target
+	gotoTo     *cfgBlock // the labeled statement itself
+}
+
+type cfgBuilder struct {
+	g *funcCFG
+	// cur is the block under construction; nil after a terminator until
+	// the next statement opens a fresh (unreachable) block.
+	cur *cfgBlock
+	// breakTo/continueTo are the innermost unlabeled targets.
+	breakTo    []*cfgBlock
+	continueTo []*cfgBlock
+	labels     map[string]*cfgLabel
+	// pendingGotos are forward gotos awaiting their label.
+	pendingGotos map[string][]*cfgBlock
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{}
+	b := &cfgBuilder{g: g, labels: map[string]*cfgLabel{}, pendingGotos: map[string][]*cfgBlock{}}
+	g.entry = b.newBlock()
+	g.exit = b.newBlock()
+	g.panicExit = b.newBlock()
+	b.cur = g.entry
+	b.stmtList(body.List)
+	// Falling off the end of the body is an implicit return.
+	if b.cur != nil {
+		b.cur.addSucc(g.exit)
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// branchBlock opens a dedicated branch-entry block carrying an entry
+// assumption, reachable from `from`.
+func (b *cfgBuilder) branchBlock(from *cfgBlock, cond ast.Expr, val bool) *cfgBlock {
+	blk := b.newBlock()
+	if cond != nil {
+		blk.assumeCond, blk.assumeVal, blk.assumeOK = cond, val, true
+	}
+	from.addSucc(blk)
+	return blk
+}
+
+// here returns the block statements should currently append to, opening a
+// fresh unreachable block after a terminator (dead code still gets a
+// syntactically well-formed — if unreachable — home).
+func (b *cfgBuilder) here() *cfgBlock {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	blk := b.here()
+	blk.nodes = append(blk.nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		b.stmt(s)
+	}
+}
+
+// isPanicCall reports whether stmt is a call of the predeclared panic.
+func isPanicCall(stmt ast.Stmt) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	// The predeclared panic cannot be shadowed by anything callable that
+	// we'd mistake here without a types lookup; the name test keeps the
+	// builder independent of type information.
+	return ok && id.Name == "panic"
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.here().addSucc(b.g.exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.LabeledStmt:
+		b.labeled(s)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.here()
+		follow := b.newBlock()
+		then := b.branchBlock(head, s.Cond, true)
+		b.cur = then
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.cur.addSucc(follow)
+		}
+		if s.Else != nil {
+			els := b.branchBlock(head, s.Cond, false)
+			b.cur = els
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.cur.addSucc(follow)
+			}
+		} else {
+			head.addSucc(follow)
+			follow.assumeCond, follow.assumeVal, follow.assumeOK = s.Cond, false, true
+			// The assumption only holds if the then-branch cannot also
+			// reach follow (then it would be a merge point, not a pure
+			// else-edge).
+			if len(follow.preds) > 1 {
+				follow.assumeOK = false
+			}
+		}
+		b.cur = follow
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.here().addSucc(head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+		}
+		follow := b.newBlock()
+		post := b.newBlock()
+		var body *cfgBlock
+		if s.Cond != nil {
+			body = b.branchBlock(head, s.Cond, true)
+			head.addSucc(follow)
+			follow.assumeCond, follow.assumeVal, follow.assumeOK = s.Cond, false, true
+		} else {
+			body = b.branchBlock(head, nil, false)
+		}
+		b.pushLoop(follow, post)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popLoop()
+		if b.cur != nil {
+			b.cur.addSucc(post)
+		}
+		if s.Post != nil {
+			post.nodes = append(post.nodes, s.Post)
+		}
+		post.addSucc(head)
+		if len(follow.preds) > 1 {
+			follow.assumeOK = false
+		}
+		b.cur = follow
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.newBlock()
+		b.here().addSucc(head)
+		follow := b.newBlock()
+		head.addSucc(follow)
+		body := b.branchBlock(head, nil, false)
+		b.pushLoop(follow, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popLoop()
+		if b.cur != nil {
+			b.cur.addSucc(head)
+		}
+		b.cur = follow
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, false)
+
+	case *ast.SelectStmt:
+		b.add(s) // shallow marker: "a select blocks here"
+		head := b.here()
+		follow := b.newBlock()
+		b.pushBreak(follow)
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			clause := b.branchBlock(head, nil, false)
+			if cc.Comm != nil {
+				clause.nodes = append(clause.nodes, cc.Comm)
+			}
+			b.cur = clause
+			b.stmtList(cc.Body)
+			if b.cur != nil {
+				b.cur.addSucc(follow)
+			}
+		}
+		b.popBreak()
+		// An empty select blocks forever: follow then has no predecessors
+		// and everything after it is correctly unreachable.
+		b.cur = follow
+
+	case *ast.ExprStmt:
+		if isPanicCall(s) {
+			b.add(s)
+			b.here().addSucc(b.g.panicExit)
+			b.cur = nil
+			return
+		}
+		b.add(s)
+
+	default:
+		// AssignStmt, DeclStmt, DeferStmt, GoStmt, SendStmt, IncDecStmt,
+		// EmptyStmt: straight-line nodes.
+		if _, ok := s.(*ast.EmptyStmt); ok {
+			return
+		}
+		b.add(s)
+	}
+}
+
+// switchBody lowers a (type)switch body: every case gets its own block
+// fed from the head; fallthrough chains case bodies; a missing default
+// adds the head→follow edge.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, allowFallthrough bool) {
+	head := b.here()
+	follow := b.newBlock()
+	b.pushBreak(follow)
+
+	type caseBlocks struct {
+		cc    *ast.CaseClause
+		block *cfgBlock
+	}
+	var cases []caseBlocks
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		blk := b.branchBlock(head, nil, false)
+		for _, e := range cc.List {
+			blk.nodes = append(blk.nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		cases = append(cases, caseBlocks{cc, blk})
+	}
+	for i, c := range cases {
+		b.cur = c.block
+		b.stmtListWithFallthrough(c.cc.Body, func() *cfgBlock {
+			if allowFallthrough && i+1 < len(cases) {
+				return cases[i+1].block
+			}
+			return follow
+		})
+		if b.cur != nil {
+			b.cur.addSucc(follow)
+		}
+	}
+	if !hasDefault {
+		head.addSucc(follow)
+	}
+	b.popBreak()
+	b.cur = follow
+}
+
+// stmtListWithFallthrough runs a case body where a trailing fallthrough
+// jumps to next() instead of being an error.
+func (b *cfgBuilder) stmtListWithFallthrough(stmts []ast.Stmt, next func() *cfgBlock) {
+	for _, s := range stmts {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			b.here().addSucc(next())
+			b.cur = nil
+			return
+		}
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) pushLoop(breakTo, continueTo *cfgBlock) {
+	b.breakTo = append(b.breakTo, breakTo)
+	b.continueTo = append(b.continueTo, continueTo)
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+}
+
+func (b *cfgBuilder) pushBreak(to *cfgBlock) {
+	b.breakTo = append(b.breakTo, to)
+	b.continueTo = append(b.continueTo, nil)
+}
+
+func (b *cfgBuilder) popBreak() { b.popLoop() }
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		var to *cfgBlock
+		if s.Label != nil {
+			if l := b.labels[s.Label.Name]; l != nil {
+				to = l.breakTo
+			}
+		} else {
+			for i := len(b.breakTo) - 1; i >= 0; i-- {
+				if b.breakTo[i] != nil {
+					to = b.breakTo[i]
+					break
+				}
+			}
+		}
+		if to != nil {
+			b.here().addSucc(to)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		var to *cfgBlock
+		if s.Label != nil {
+			if l := b.labels[s.Label.Name]; l != nil {
+				to = l.continueTo
+			}
+		} else {
+			for i := len(b.continueTo) - 1; i >= 0; i-- {
+				if b.continueTo[i] != nil {
+					to = b.continueTo[i]
+					break
+				}
+			}
+		}
+		if to != nil {
+			b.here().addSucc(to)
+		}
+		b.cur = nil
+	case token.GOTO:
+		if s.Label != nil {
+			if l := b.labels[s.Label.Name]; l != nil && l.gotoTo != nil {
+				b.here().addSucc(l.gotoTo)
+			} else {
+				from := b.here()
+				b.pendingGotos[s.Label.Name] = append(b.pendingGotos[s.Label.Name], from)
+			}
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Only legal as the final statement of a case body, which
+		// stmtListWithFallthrough intercepts; a stray one terminates flow.
+		b.cur = nil
+	}
+}
+
+func (b *cfgBuilder) labeled(s *ast.LabeledStmt) {
+	// The labeled statement starts its own block: a goto target must have
+	// a block boundary.
+	target := b.newBlock()
+	if b.cur != nil {
+		b.cur.addSucc(target)
+	}
+	for _, from := range b.pendingGotos[s.Label.Name] {
+		from.addSucc(target)
+	}
+	delete(b.pendingGotos, s.Label.Name)
+
+	l := &cfgLabel{gotoTo: target}
+	b.labels[s.Label.Name] = l
+	b.cur = target
+
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt, *ast.RangeStmt:
+		// Pre-wire the labeled loop's break/continue: build the loop with
+		// the label's targets patched in afterwards. We lower the loop
+		// normally, but need its follow/continue blocks registered under
+		// the label before the body (which may contain `break L`) is
+		// built. Easiest: wrap stmt lowering with label hooks.
+		b.labeledLoop(l, inner)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.labeledSwitch(l, inner)
+	default:
+		b.stmt(s.Stmt)
+	}
+}
+
+// labeledLoop lowers a labeled for/range so `break L` / `continue L`
+// resolve while the body is being built.
+func (b *cfgBuilder) labeledLoop(l *cfgLabel, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.here().addSucc(head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+		}
+		follow := b.newBlock()
+		post := b.newBlock()
+		var body *cfgBlock
+		if s.Cond != nil {
+			body = b.branchBlock(head, s.Cond, true)
+			head.addSucc(follow)
+			follow.assumeCond, follow.assumeVal, follow.assumeOK = s.Cond, false, true
+		} else {
+			body = b.branchBlock(head, nil, false)
+		}
+		l.breakTo, l.continueTo = follow, post
+		b.pushLoop(follow, post)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popLoop()
+		if b.cur != nil {
+			b.cur.addSucc(post)
+		}
+		if s.Post != nil {
+			post.nodes = append(post.nodes, s.Post)
+		}
+		post.addSucc(head)
+		if len(follow.preds) > 1 {
+			follow.assumeOK = false
+		}
+		b.cur = follow
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.newBlock()
+		b.here().addSucc(head)
+		follow := b.newBlock()
+		head.addSucc(follow)
+		body := b.branchBlock(head, nil, false)
+		l.breakTo, l.continueTo = follow, head
+		b.pushLoop(follow, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popLoop()
+		if b.cur != nil {
+			b.cur.addSucc(head)
+		}
+		b.cur = follow
+	}
+}
+
+// labeledSwitch lowers a labeled switch/select so `break L` resolves.
+func (b *cfgBuilder) labeledSwitch(l *cfgLabel, s ast.Stmt) {
+	// The follow block does not exist until the lowering runs; register a
+	// placeholder the lowering will wire, then alias it.
+	placeholder := b.newBlock()
+	l.breakTo = placeholder
+	b.stmt(s)
+	// b.cur is now the real follow block: forward the placeholder.
+	if b.cur != nil && len(placeholder.preds) > 0 {
+		placeholder.addSucc(b.cur)
+	}
+}
+
+// solveForward runs a forward dataflow analysis over g to fixpoint.
+// transfer computes a block's out-fact from its in-fact and must be
+// monotone w.r.t. merge; merge joins facts at confluence points; equal
+// detects the fixpoint. Returns the in-fact of every reached block
+// (unreachable blocks are absent).
+func solveForward[F any](g *funcCFG, entry F, transfer func(*cfgBlock, F) F, merge func(F, F) F, equal func(F, F) bool) map[*cfgBlock]F {
+	in := map[*cfgBlock]F{g.entry: entry}
+	out := map[*cfgBlock]F{}
+	work := []*cfgBlock{g.entry}
+	inWork := map[*cfgBlock]bool{g.entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk] = false
+		o := transfer(blk, in[blk])
+		if prev, ok := out[blk]; ok && equal(prev, o) {
+			continue
+		}
+		out[blk] = o
+		for _, s := range blk.succs {
+			ni := o
+			if cur, ok := in[s]; ok {
+				ni = merge(cur, o)
+				if equal(cur, ni) {
+					continue
+				}
+			}
+			in[s] = ni
+			if !inWork[s] {
+				inWork[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// funcBodies yields every function body in f — declarations and function
+// literals — with a printable identity.
+type funcBody struct {
+	name string
+	body *ast.BlockStmt
+}
+
+func fileFuncBodies(f *ast.File) []funcBody {
+	var out []funcBody
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		name := fd.Name.Name
+		if fd.Recv != nil && len(fd.Recv.List) > 0 {
+			name = recvTypeName(fd.Recv.List[0].Type) + "." + name
+		}
+		out = append(out, funcBody{name: name, body: fd.Body})
+		// Nested literals, innermost last; each analyzed independently.
+		nested := 0
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				nested++
+				out = append(out, funcBody{name: fmt.Sprintf("%s.func%d", name, nested), body: lit.Body})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// cfgString renders g for golden tests: one line per non-empty block with
+// its node sources and successor indices, in block-index order.
+func cfgString(fset *token.FileSet, g *funcCFG) string {
+	var sb strings.Builder
+	special := func(b *cfgBlock) string {
+		switch b {
+		case g.entry:
+			return " (entry)"
+		case g.exit:
+			return " (exit)"
+		case g.panicExit:
+			return " (panic)"
+		}
+		return ""
+	}
+	for _, b := range g.blocks {
+		if len(b.nodes) == 0 && len(b.succs) == 0 && len(b.preds) == 0 &&
+			b != g.entry && b != g.exit && b != g.panicExit {
+			continue // never wired (e.g. builder scratch): not part of the graph
+		}
+		fmt.Fprintf(&sb, "b%d%s:", b.index, special(b))
+		for _, n := range b.nodes {
+			fmt.Fprintf(&sb, " {%s}", nodeSrc(fset, n))
+		}
+		if len(b.succs) > 0 {
+			idx := make([]int, len(b.succs))
+			for i, s := range b.succs {
+				idx[i] = s.index
+			}
+			sort.Ints(idx)
+			parts := make([]string, len(idx))
+			for i, x := range idx {
+				parts[i] = fmt.Sprintf("b%d", x)
+			}
+			fmt.Fprintf(&sb, " -> %s", strings.Join(parts, " "))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// nodeSrc prints one node's source, squashed onto a single line. Select
+// statements print as a marker (their bodies live in other blocks).
+func nodeSrc(fset *token.FileSet, n ast.Node) string {
+	if _, ok := n.(*ast.SelectStmt); ok {
+		return "select"
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	s := buf.String()
+	s = strings.ReplaceAll(s, "\n", " ")
+	s = strings.ReplaceAll(s, "\t", "")
+	for strings.Contains(s, "  ") {
+		s = strings.ReplaceAll(s, "  ", " ")
+	}
+	return s
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"testing"
+)
+
+func loadRealModule(t *testing.T) *Module {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadDir(root)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", root, err)
+	}
+	return m
+}
+
+// TestRealModuleClean runs the full suite over this repository itself:
+// the tier-1 gate in test form. Any finding here either needs a code fix
+// or a reasoned //lint:ignore — never a weakening of the check.
+func TestRealModuleClean(t *testing.T) {
+	m := loadRealModule(t)
+	for _, d := range Run(m, DefaultConfig(), Checks()) {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestRealModuleAnalyzersSeeFacts guards against the new analyzers
+// silently going blind: a refactor that renames Pin, moves the admission
+// sketch, or breaks type resolution would turn them into no-ops that
+// still pass TestRealModuleClean. Each analyzer must resolve at least
+// the facts PRs 7-8 introduced.
+func TestRealModuleAnalyzersSeeFacts(t *testing.T) {
+	m := loadRealModule(t)
+	p := &Pass{Cfg: DefaultConfig(), Module: m}
+
+	// pairhygiene: the epoch pin and pool client acquire sites must resolve.
+	acquires := map[string]int{}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if e, isExpr := n.(ast.Expr); isExpr {
+					if _, rule, ok := acquireCall(p, pkg, e); ok {
+						acquires[rule.Type+"."+rule.Acquire]++
+					}
+				}
+				return true
+			})
+		}
+	}
+	t.Logf("pairhygiene acquire sites: %v", acquires)
+	if acquires["Reclaimer.Pin"] == 0 {
+		t.Errorf("no Reclaimer.Pin acquire sites resolved; pairhygiene is blind to the epoch protocol")
+	}
+	if acquires["store.pin"]+acquires["arenaStore.pin"] == 0 {
+		t.Errorf("no store pin sites resolved; pairhygiene is blind to the arena GET path")
+	}
+	if acquires["Pool.Acquire"] == 0 {
+		t.Errorf("no Pool.Acquire sites resolved; pairhygiene is blind to the client pool")
+	}
+
+	// atomichygiene: the admission sketch's packed words must be tracked.
+	aa := &atomicAnalyzer{
+		pass:       p,
+		tracked:    map[*types.Var]*atomicField{},
+		aliases:    map[types.Object]aliasInfo{},
+		atomicArgs: map[ast.Expr]bool{},
+	}
+	aa.collect()
+	fields := map[string]int{}
+	for v, f := range aa.tracked {
+		fields[f.owner+"."+v.Name()] = f.depth
+	}
+	t.Logf("atomichygiene tracked fields (name -> depth): %v", fields)
+	if d, ok := fields["admission.rows"]; !ok || d != 2 {
+		t.Errorf("admission.rows not tracked at depth 2 (got %v, tracked %v); atomichygiene is blind to the sketch", d, ok)
+	}
+	if d, ok := fields["admission.door"]; !ok || d != 1 {
+		t.Errorf("admission.door not tracked at depth 1 (got %v, tracked %v)", d, ok)
+	}
+
+	// lockorder: the module's mutexes must resolve into graph nodes.
+	la := &lockOrderAnalyzer{
+		pass:      p,
+		summaries: map[*types.Func]map[types.Object]lockAcq{},
+		callees:   map[*types.Func][]*types.Func{},
+		names:     map[types.Object]string{},
+	}
+	la.buildSummaries()
+	la.buildEdges()
+	var lockNames []string
+	for _, name := range la.names {
+		lockNames = append(lockNames, name)
+	}
+	t.Logf("lockorder: %d distinct locks, %d acquisition edges", len(la.names), len(la.edges))
+	for _, e := range la.edges {
+		t.Logf("  edge: %s -> %s (via %q) at %s", la.names[e.from], la.names[e.to], e.via, la.shortPos(e.pos))
+	}
+	if len(la.names) < 5 {
+		t.Errorf("lockorder resolved only %d locks (%v); lock resolution is broken", len(la.names), lockNames)
+	}
+}

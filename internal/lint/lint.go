@@ -67,6 +67,8 @@ type Config struct {
 	// ErrcheckPkgs are the packages where ignored io/net write errors are
 	// findings.
 	ErrcheckPkgs []string
+	// PairRules are the acquire/release protocols enforced by pairhygiene.
+	PairRules []PairRule
 }
 
 // DefaultConfig scopes the checks to this repository's invariants.
@@ -89,6 +91,16 @@ func DefaultConfig() Config {
 		// cluster and faultnet sit on the failover hot path: a dropped
 		// write error there silently corrupts the retry/breaker accounting.
 		ErrcheckPkgs: []string{"internal/kvserver", "internal/cluster", "internal/faultnet"},
+		// A leaked epoch pin stalls arena reclamation forever; a leaked
+		// pool client starves every other caller. The `store` interface
+		// rule covers the server's GET path, the concrete `arenaStore`
+		// rule any direct use of the implementation.
+		PairRules: []PairRule{
+			{Pkg: "internal/epoch", Type: "Reclaimer", Acquire: "Pin", Releases: []string{"Unpin"}},
+			{Pkg: "internal/kvserver", Type: "store", Acquire: "pin", Releases: []string{"Unpin"}},
+			{Pkg: "internal/kvserver", Type: "arenaStore", Acquire: "pin", Releases: []string{"Unpin"}},
+			{Pkg: "internal/kvserver", Type: "Pool", Acquire: "Acquire", Releases: []string{"Release", "Discard"}},
+		},
 	}
 }
 
@@ -97,6 +109,9 @@ func Checks() []*Check {
 	return []*Check{
 		determinismCheck(),
 		mutexHygieneCheck(),
+		pairHygieneCheck(),
+		atomicHygieneCheck(),
+		lockOrderCheck(),
 		protoStringsCheck(),
 		metricNamesCheck(),
 		errcheckCheck(),

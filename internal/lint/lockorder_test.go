@@ -1,0 +1,217 @@
+package lint
+
+import "testing"
+
+func TestLockOrderInversion(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"app": {"app.go": `package app
+
+import "sync"
+
+type X struct {
+	mu sync.Mutex
+	n  int
+}
+type Y struct {
+	mu sync.Mutex
+	n  int
+}
+
+func LockAB(x *X, y *Y) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.n++
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func LockBA(x *X, y *Y) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.n++
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+`},
+	})
+	diags := runNamed(t, m, DefaultConfig(), "lockorder")
+	wantDiag(t, diags, "lockorder", "lock order cycle", 2)
+	wantDiag(t, diags, "lockorder", "Y.mu acquired while X.mu is held", 1)
+	wantDiag(t, diags, "lockorder", "X.mu acquired while Y.mu is held", 1)
+}
+
+// TestLockOrderCFGOnly: the only path in Kick that locks Y released X
+// first, so there is no X→Y edge and no cycle. A syntax-level scan
+// ("x.mu.Lock textually precedes y.mu.Lock") would invent the edge and a
+// false deadlock.
+func TestLockOrderCFGOnly(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"app": {"app.go": `package app
+
+import "sync"
+
+type X struct {
+	mu sync.Mutex
+	n  int
+}
+type Y struct {
+	mu sync.Mutex
+	n  int
+}
+
+func Kick(x *X, y *Y, cond bool) {
+	x.mu.Lock()
+	if cond {
+		x.mu.Unlock()
+		y.mu.Lock()
+		y.n++
+		y.mu.Unlock()
+		return
+	}
+	x.n++
+	x.mu.Unlock()
+}
+
+func Other(x *X, y *Y) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.n++
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+`},
+	})
+	wantNone(t, runNamed(t, m, DefaultConfig(), "lockorder"))
+}
+
+// A cycle where one direction only exists through a callee's transitive
+// lock summary.
+func TestLockOrderViaCall(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"app": {"app.go": `package app
+
+import "sync"
+
+type X struct {
+	mu sync.Mutex
+	n  int
+}
+type Y struct {
+	mu sync.Mutex
+	n  int
+}
+
+func Outer(x *X, y *Y) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	bump(y)
+}
+
+func bump(y *Y) {
+	y.mu.Lock()
+	y.n++
+	y.mu.Unlock()
+}
+
+func Inverse(x *X, y *Y) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.n++
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+`},
+	})
+	diags := runNamed(t, m, DefaultConfig(), "lockorder")
+	wantDiag(t, diags, "lockorder", "lock order cycle", 2)
+	wantDiag(t, diags, "lockorder", "via call to bump", 1)
+}
+
+func TestLockOrderSelfLoop(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"app": {"app.go": `package app
+
+import "sync"
+
+type Shard struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// Two instances of the same field: deadlock if ever called with the
+// arguments swapped concurrently.
+func Transfer(a, b *Shard) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.n = a.n
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Overlapping read locks never deadlock each other.
+func Compare(a, b *Shard) bool {
+	a.rw.RLock()
+	b.rw.RLock()
+	eq := a.n == b.n
+	b.rw.RUnlock()
+	a.rw.RUnlock()
+	return eq
+}
+`},
+	})
+	diags := runNamed(t, m, DefaultConfig(), "lockorder")
+	wantDiag(t, diags, "lockorder", "Shard.mu acquired while another Shard.mu is already held", 1)
+	wantDiag(t, diags, "lockorder", "Shard.rw", 0)
+}
+
+func TestLockOrderNegativeAndSuppression(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"app": {"app.go": `package app
+
+import "sync"
+
+type X struct {
+	mu sync.Mutex
+	n  int
+}
+type Y struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Consistent ordering everywhere: X before Y.
+func First(x *X, y *Y) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.n++
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func Second(x *X, y *Y) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	x.n = y.n
+}
+
+type Ring struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Hand-over-hand traversal locks neighbors in ring order.
+func Walk(a, b *Ring) {
+	a.mu.Lock()
+	//lint:ignore lockorder hand-over-hand traversal always walks in ring index order
+	b.mu.Lock()
+	b.n = a.n
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+`},
+	})
+	wantNone(t, runNamed(t, m, DefaultConfig(), "lockorder"))
+}

@@ -5,20 +5,23 @@ import (
 	"go/types"
 )
 
-// mutexHygieneCheck walks every function and verifies, structurally, that a
-// sync.Mutex/RWMutex acquired there is released on every return path:
-// either the next matching action is a deferred Unlock, or every return
-// statement reachable inside the critical section is preceded by an inline
-// Unlock on its path. It additionally flags channel sends/receives, select
-// statements, time.Sleep and WaitGroup.Wait executed while an RWMutex write
-// lock is held — the classic self-deadlock shape under reader pressure.
+// mutexHygieneCheck verifies, path-sensitively, that a sync.Mutex/RWMutex
+// acquired in a function is released on every return path, and flags
+// blocking operations (channel sends/receives, select, time.Sleep,
+// WaitGroup.Wait) executed while an RWMutex write lock is held — the
+// classic self-deadlock shape under reader pressure.
 //
-// The analysis is deliberately "lite": it tracks lock state through
-// straight-line code, if/else, loops and switches with a three-valued state
-// (locked / maybe / unlocked) and never reports in the "maybe" state, so
-// unusual-but-correct code earns silence rather than noise. Lock helpers
-// that intentionally hand a held lock to their caller are annotated with
-// //lint:ignore mutexhygiene <reason>.
+// The analysis runs on the package's control-flow graphs (cfg.go): each
+// acquisition is traced through a forward dataflow of (held, deferred)
+// three-valued facts, so locks released along goto/labeled-break paths,
+// re-acquired across loop iterations, or covered by a late defer are
+// tracked exactly where the syntax-level predecessor of this check had to
+// give up or guess. Two false-positive classes of that predecessor are
+// gone by construction: a `select` with a default clause never blocks and
+// is not reported, and code between a Lock and a *later installed*
+// deferred Unlock is distinguished from code with no release at all.
+// Lock helpers that intentionally hand a held lock to their caller are
+// annotated with //lint:ignore mutexhygiene <reason>.
 func mutexHygieneCheck() *Check {
 	c := &Check{
 		Name: "mutexhygiene",
@@ -27,42 +30,37 @@ func mutexHygieneCheck() *Check {
 	c.Run = func(p *Pass) {
 		for _, pkg := range p.Module.Packages {
 			for _, f := range pkg.Files {
-				ast.Inspect(f, func(n ast.Node) bool {
-					var body *ast.BlockStmt
-					switch fn := n.(type) {
-					case *ast.FuncDecl:
-						body = fn.Body
-					case *ast.FuncLit:
-						body = fn.Body
-					default:
-						return true
-					}
-					if body != nil {
-						a := &mutexAnalyzer{pass: p, pkg: pkg, funcBody: body}
-						a.scanList(body.List)
-					}
-					return true
-				})
+				for _, fb := range fileFuncBodies(f) {
+					a := &mutexAnalyzer{pass: p, pkg: pkg, funcBody: fb.body}
+					a.analyze()
+				}
 			}
 		}
 	}
 	return c
 }
 
-// lockState is the three-valued lock tracking state.
-type lockState int
+// triState is the lattice value for one boolean dataflow dimension.
+type triState uint8
 
 const (
-	stLocked lockState = iota
-	stMaybe
-	stUnlocked
+	triFalse triState = iota
+	triTrue
+	triMixed
 )
 
-func mergeState(a, b lockState) lockState {
+func mergeTri(a, b triState) triState {
 	if a == b {
 		return a
 	}
-	return stMaybe
+	return triMixed
+}
+
+// mhFact tracks one lock through the CFG: whether it is held, and whether
+// a deferred release has been installed on this path.
+type mhFact struct {
+	held     triState
+	deferred triState
 }
 
 // lockRef identifies one acquisition: the receiver expression text plus
@@ -77,6 +75,231 @@ type mutexAnalyzer struct {
 	pass     *Pass
 	pkg      *Package
 	funcBody *ast.BlockStmt
+	// commOwner maps each select comm statement to its select, so clause
+	// entry nodes are not reported separately from the select marker.
+	commOwner map[ast.Node]*ast.SelectStmt
+}
+
+// analyze builds the function's CFG and traces every lock acquired in it.
+func (a *mutexAnalyzer) analyze() {
+	g := buildCFG(a.funcBody)
+	a.commOwner = map[ast.Node]*ast.SelectStmt{}
+	ast.Inspect(a.funcBody, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					a.commOwner[cc.Comm] = sel
+				}
+			}
+		}
+		return true
+	})
+
+	// Collect the distinct acquisitions and their sites.
+	type site struct {
+		ref lockRef
+		at  ast.Expr
+	}
+	var sites []site
+	seen := map[lockRef]bool{}
+	var refs []lockRef
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			stmt, ok := n.(ast.Stmt)
+			if !ok {
+				continue
+			}
+			if ref, at, ok := a.stmtLock(stmt); ok {
+				sites = append(sites, site{ref, at})
+				if !seen[ref] {
+					seen[ref] = true
+					refs = append(refs, ref)
+				}
+			}
+		}
+	}
+	if len(refs) == 0 {
+		return
+	}
+
+	for _, ref := range refs {
+		// No release anywhere in the function: either the lock
+		// intentionally escapes (annotate it) or it is a leak. The
+		// dataflow would report every return; one finding at the
+		// acquisition is the actionable shape.
+		if !a.containsUnlock(a.funcBody, ref) {
+			for _, s := range sites {
+				if s.ref == ref {
+					a.pass.Reportf(s.at.Pos(), "%s.%s() is never released in this function (deferred or inline Unlock missing; annotate if the lock intentionally escapes)",
+						ref.recv, lockMethodName(ref))
+				}
+			}
+			continue
+		}
+		a.trace(g, ref)
+	}
+}
+
+// trace solves the (held, deferred) dataflow for ref over g and reports
+// on a second, fact-replaying pass.
+func (a *mutexAnalyzer) trace(g *funcCFG, ref lockRef) {
+	transfer := func(blk *cfgBlock, in mhFact) mhFact {
+		return a.transferBlock(blk, ref, in, nil)
+	}
+	in := solveForward(g, mhFact{triFalse, triFalse}, transfer,
+		func(x, y mhFact) mhFact {
+			return mhFact{mergeTri(x.held, y.held), mergeTri(x.deferred, y.deferred)}
+		},
+		func(x, y mhFact) bool { return x == y },
+	)
+
+	hasDefer := a.hasDeferredRelease(ref)
+	for _, blk := range g.blocks {
+		fact, reached := in[blk]
+		if !reached {
+			continue
+		}
+		a.transferBlock(blk, ref, fact, func(n ast.Node, f mhFact) {
+			a.reportNode(n, ref, f, hasDefer)
+		})
+	}
+}
+
+// transferBlock runs ref's transfer function over one block. When report
+// is non-nil it is invoked per node with the fact holding *before* the
+// node executes (the replay pass).
+func (a *mutexAnalyzer) transferBlock(blk *cfgBlock, ref lockRef, in mhFact, report func(ast.Node, mhFact)) mhFact {
+	f := in
+	for _, n := range blk.nodes {
+		if report != nil {
+			report(n, f)
+		}
+		stmt, ok := n.(ast.Stmt)
+		if !ok {
+			continue
+		}
+		if r, _, ok := a.stmtLock(stmt); ok && r.recv == ref.recv && r.read == ref.read {
+			f.held = triTrue
+			continue
+		}
+		if a.stmtUnlocks(stmt, ref) {
+			f.held = triFalse
+			continue
+		}
+		if a.stmtDefersUnlock(stmt, ref) {
+			f.deferred = triTrue
+			continue
+		}
+	}
+	return f
+}
+
+// reportNode emits the diagnostics for one node given the fact in force
+// before it.
+func (a *mutexAnalyzer) reportNode(n ast.Node, ref lockRef, f mhFact, hasDefer bool) {
+	if ret, ok := n.(*ast.ReturnStmt); ok {
+		if f.held == triTrue && f.deferred == triFalse {
+			if hasDefer {
+				a.pass.Reportf(ret.Pos(), "return between %s.%s() and its deferred release",
+					ref.recv, lockMethodName(ref))
+			} else {
+				a.pass.Reportf(ret.Pos(), "return while %s is held by %s() with no release on this path",
+					ref.recv, lockMethodName(ref))
+			}
+		}
+		return
+	}
+	// Blocking operations only matter under a held RWMutex *write* lock
+	// (readers don't starve readers; a plain Mutex across a send is a
+	// throughput question, not the starvation shape hunted here). A
+	// deferred release does not help: the lock is held until the function
+	// returns, and the operation blocks before that.
+	if ref.read || !ref.rw || f.held != triTrue {
+		return
+	}
+	if _, isComm := a.commOwner[n]; isComm {
+		// Clause entry of a select: the select marker carries the report.
+		return
+	}
+	switch n := n.(type) {
+	case *ast.SelectStmt:
+		if !selectHasDefault(n) {
+			a.pass.Reportf(n.Pos(), "select while %s is write-locked (blocks all readers and writers)", ref.recv)
+		}
+	case *ast.SendStmt:
+		a.pass.Reportf(n.Pos(), "channel send while %s is write-locked (blocks all readers and writers)", ref.recv)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred calls run at exit; a spawned goroutine has its own
+		// locking discipline.
+	default:
+		a.reportBlockingExprs(n, ref)
+	}
+}
+
+// selectHasDefault reports whether sel can complete without blocking.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// reportBlockingExprs flags `<-ch`, time.Sleep and WaitGroup.Wait inside
+// one CFG node (function literals excluded: they run in their own frame,
+// select markers excluded: their clauses live in other blocks).
+func (a *mutexAnalyzer) reportBlockingExprs(n ast.Node, ref lockRef) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.SelectStmt:
+			return false
+		case *ast.SendStmt:
+			a.pass.Reportf(n.Pos(), "channel send while %s is write-locked (blocks all readers and writers)", ref.recv)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				a.pass.Reportf(n.Pos(), "channel receive while %s is write-locked (blocks all readers and writers)", ref.recv)
+			}
+		case *ast.CallExpr:
+			sel, isSel := n.Fun.(*ast.SelectorExpr)
+			if !isSel {
+				return true
+			}
+			obj, isFunc := a.pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !isFunc || obj.Pkg() == nil {
+				return true
+			}
+			switch {
+			case obj.Pkg().Path() == "time" && obj.Name() == "Sleep":
+				a.pass.Reportf(n.Pos(), "time.Sleep while %s is write-locked", ref.recv)
+			case obj.Pkg().Path() == "sync" && obj.Name() == "Wait":
+				a.pass.Reportf(n.Pos(), "%s while %s is write-locked", types.ExprString(n.Fun), ref.recv)
+			}
+		}
+		return true
+	})
+}
+
+// hasDeferredRelease reports whether any defer in the function releases
+// ref (used only to pick the more precise message for a held return).
+func (a *mutexAnalyzer) hasDeferredRelease(ref lockRef) bool {
+	found := false
+	ast.Inspect(a.funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ds, ok := n.(*ast.DeferStmt); ok && a.stmtDefersUnlock(ds, ref) {
+			found = true
+		}
+		return true
+	})
+	return found
 }
 
 // syncLockMethod resolves call to a sync lock-family method and returns the
@@ -187,247 +410,9 @@ func (a *mutexAnalyzer) containsUnlock(n ast.Node, ref lockRef) bool {
 	return found
 }
 
-// scanList analyzes one statement list: every Lock acquired at this level
-// is traced forward, and nested statement lists are scanned recursively.
-func (a *mutexAnalyzer) scanList(stmts []ast.Stmt) {
-	for i, stmt := range stmts {
-		if ref, at, ok := a.stmtLock(stmt); ok {
-			a.traceLock(stmts[i+1:], ref, at)
-		}
-		a.scanNested(stmt)
-	}
-}
-
-// scanNested recurses into statement lists hanging off stmt so locks taken
-// inside branches and loops are traced in their own scope.
-func (a *mutexAnalyzer) scanNested(stmt ast.Stmt) {
-	switch s := stmt.(type) {
-	case *ast.BlockStmt:
-		a.scanList(s.List)
-	case *ast.IfStmt:
-		a.scanList(s.Body.List)
-		if s.Else != nil {
-			a.scanNested(s.Else)
-		}
-	case *ast.ForStmt:
-		a.scanList(s.Body.List)
-	case *ast.RangeStmt:
-		a.scanList(s.Body.List)
-	case *ast.SwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				a.scanList(cc.Body)
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				a.scanList(cc.Body)
-			}
-		}
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				a.scanList(cc.Body)
-			}
-		}
-	case *ast.LabeledStmt:
-		a.scanNested(s.Stmt)
-	}
-}
-
-// traceLock follows one acquisition through the statements after it.
-func (a *mutexAnalyzer) traceLock(rest []ast.Stmt, ref lockRef, at ast.Expr) {
-	// Deferred release at this level: the critical section runs to function
-	// exit. The only hazard left is a return squeezed between Lock and the
-	// defer installation.
-	for j, stmt := range rest {
-		if a.stmtDefersUnlock(stmt, ref) {
-			for _, between := range rest[:j] {
-				a.reportReturns(between, ref)
-			}
-			if !ref.read && ref.rw {
-				for _, between := range rest[:j] {
-					a.reportBlocking(between, ref)
-				}
-			}
-			return
-		}
-	}
-
-	// No release anywhere in the function: either the lock intentionally
-	// escapes (annotate it) or it is a leak.
-	if !a.releasedSomewhere(ref) {
-		a.pass.Reportf(at.Pos(), "%s.%s() is never released in this function (deferred or inline Unlock missing; annotate if the lock intentionally escapes)",
-			ref.recv, lockMethodName(ref))
-		return
-	}
-
-	a.walkStmts(rest, ref, stLocked)
-}
-
 func lockMethodName(ref lockRef) string {
 	if ref.read {
 		return "RLock"
 	}
 	return "Lock"
-}
-
-// releasedSomewhere reports whether any matching release exists in the
-// whole function body after... anywhere (structural, not path-sensitive).
-func (a *mutexAnalyzer) releasedSomewhere(ref lockRef) bool {
-	return a.containsUnlock(a.funcBody, ref)
-}
-
-// walkStmts runs the three-valued state machine over a statement list,
-// reporting returns reached while the lock is held, and returns the state
-// at the end of the list.
-func (a *mutexAnalyzer) walkStmts(stmts []ast.Stmt, ref lockRef, state lockState) lockState {
-	for _, stmt := range stmts {
-		state = a.walkStmt(stmt, ref, state)
-	}
-	return state
-}
-
-func (a *mutexAnalyzer) walkStmt(stmt ast.Stmt, ref lockRef, state lockState) lockState {
-	switch s := stmt.(type) {
-	case *ast.ExprStmt:
-		if a.stmtUnlocks(stmt, ref) {
-			return stUnlocked
-		}
-		if r, _, ok := a.stmtLock(stmt); ok && r.recv == ref.recv && r.read == ref.read {
-			return stLocked
-		}
-		if state == stLocked {
-			a.checkBlockingExpr(s.X, ref)
-		}
-	case *ast.DeferStmt:
-		if a.stmtDefersUnlock(stmt, ref) {
-			return stUnlocked
-		}
-	case *ast.ReturnStmt:
-		if state == stLocked {
-			a.pass.Reportf(s.Pos(), "return while %s is held by %s() with no release on this path",
-				ref.recv, lockMethodName(ref))
-		}
-	case *ast.BlockStmt:
-		return a.walkStmts(s.List, ref, state)
-	case *ast.LabeledStmt:
-		return a.walkStmt(s.Stmt, ref, state)
-	case *ast.IfStmt:
-		then := a.walkStmts(s.Body.List, ref, state)
-		els := state
-		if s.Else != nil {
-			els = a.walkStmt(s.Else, ref, state)
-		}
-		return mergeState(then, els)
-	case *ast.ForStmt:
-		return mergeState(state, a.walkStmts(s.Body.List, ref, state))
-	case *ast.RangeStmt:
-		return mergeState(state, a.walkStmts(s.Body.List, ref, state))
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
-		var body *ast.BlockStmt
-		if sw, isSw := s.(*ast.SwitchStmt); isSw {
-			body = sw.Body
-		} else {
-			body = s.(*ast.TypeSwitchStmt).Body
-		}
-		out := state
-		for _, c := range body.List {
-			if cc, isCase := c.(*ast.CaseClause); isCase {
-				out = mergeState(out, a.walkStmts(cc.Body, ref, state))
-			}
-		}
-		return out
-	case *ast.SelectStmt:
-		if state == stLocked && !ref.read && ref.rw {
-			a.pass.Reportf(s.Pos(), "select while %s is write-locked (blocks all readers and writers)", ref.recv)
-		}
-		out := state
-		for _, c := range s.Body.List {
-			if cc, isComm := c.(*ast.CommClause); isComm {
-				out = mergeState(out, a.walkStmts(cc.Body, ref, state))
-			}
-		}
-		return out
-	case *ast.SendStmt:
-		if state == stLocked && !ref.read && ref.rw {
-			a.pass.Reportf(s.Pos(), "channel send while %s is write-locked (blocks all readers and writers)", ref.recv)
-		}
-	case *ast.AssignStmt:
-		if state == stLocked {
-			for _, rhs := range s.Rhs {
-				a.checkBlockingExpr(rhs, ref)
-			}
-		}
-	case *ast.GoStmt:
-		// A spawned goroutine has its own locking discipline.
-	}
-	return state
-}
-
-// reportReturns flags every return statement under stmt (function literals
-// excluded: they return from their own frame).
-func (a *mutexAnalyzer) reportReturns(stmt ast.Stmt, ref lockRef) {
-	ast.Inspect(stmt, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			return false
-		case *ast.ReturnStmt:
-			a.pass.Reportf(n.Pos(), "return between %s.%s() and its deferred release",
-				ref.recv, lockMethodName(ref))
-		}
-		return true
-	})
-}
-
-// reportBlocking flags channel operations and known blocking calls under
-// stmt while an RWMutex write lock is held.
-func (a *mutexAnalyzer) reportBlocking(stmt ast.Stmt, ref lockRef) {
-	if ref.read || !ref.rw {
-		return
-	}
-	ast.Inspect(stmt, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			return false
-		case *ast.SendStmt:
-			a.pass.Reportf(n.Pos(), "channel send while %s is write-locked (blocks all readers and writers)", ref.recv)
-		case *ast.UnaryExpr:
-			a.checkBlockingExpr(n, ref)
-			return false
-		case *ast.CallExpr:
-			a.checkBlockingExpr(n, ref)
-		}
-		return true
-	})
-}
-
-// checkBlockingExpr flags `<-ch`, time.Sleep and WaitGroup.Wait in e while
-// an RWMutex write lock is held.
-func (a *mutexAnalyzer) checkBlockingExpr(e ast.Expr, ref lockRef) {
-	if ref.read || !ref.rw {
-		return
-	}
-	switch e := e.(type) {
-	case *ast.UnaryExpr:
-		if e.Op.String() == "<-" {
-			a.pass.Reportf(e.Pos(), "channel receive while %s is write-locked (blocks all readers and writers)", ref.recv)
-		}
-	case *ast.CallExpr:
-		sel, isSel := e.Fun.(*ast.SelectorExpr)
-		if !isSel {
-			return
-		}
-		obj, isFunc := a.pkg.Info.Uses[sel.Sel].(*types.Func)
-		if !isFunc || obj.Pkg() == nil {
-			return
-		}
-		switch {
-		case obj.Pkg().Path() == "time" && obj.Name() == "Sleep":
-			a.pass.Reportf(e.Pos(), "time.Sleep while %s is write-locked", ref.recv)
-		case obj.Pkg().Path() == "sync" && obj.Name() == "Wait":
-			a.pass.Reportf(e.Pos(), "%s while %s is write-locked", types.ExprString(e.Fun), ref.recv)
-		}
-	}
 }

@@ -145,6 +145,68 @@ func (s *S) Spawns() {
 	wantNone(t, runNamed(t, m, DefaultConfig(), "mutexhygiene"))
 }
 
+// TestMutexHygieneCFGOnly covers shapes the old syntax-level walker could
+// not see: leaks along goto edges, blocking calls after the deferred
+// release is installed, and non-blocking selects (default clause) that the
+// heuristic used to flag.
+func TestMutexHygieneCFGOnly(t *testing.T) {
+	m := fixture(t, map[string]map[string]string{
+		"app": {"app.go": `package app
+
+import (
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	n  int
+}
+
+// The goto jumps over the only release: the return at out: executes with
+// the lock held, which only a CFG edge can prove.
+func (s *S) GotoLeak(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		goto out
+	}
+	s.mu.Unlock()
+	return 0
+out:
+	return s.n
+}
+
+// Sleeping after the deferred release is installed still sleeps with the
+// write lock held — the defer only runs at function exit.
+func (s *S) SleepUnderDeferredLock() {
+	s.rw.Lock()
+	defer s.rw.Unlock()
+	time.Sleep(time.Millisecond)
+	s.n++
+}
+
+// A select with a default clause never blocks; the old heuristic flagged
+// every select under a write lock.
+func (s *S) NonBlockingKick() {
+	s.rw.Lock()
+	defer s.rw.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+	s.n++
+}
+`},
+	})
+	diags := runNamed(t, m, DefaultConfig(), "mutexhygiene")
+	wantDiag(t, diags, "mutexhygiene", "return while s.mu is held", 1)
+	wantDiag(t, diags, "mutexhygiene", "time.Sleep while s.rw is write-locked", 1)
+	wantDiag(t, diags, "mutexhygiene", "select", 0)
+	wantDiag(t, diags, "mutexhygiene", "channel send", 0)
+}
+
 func TestMutexHygieneSuppression(t *testing.T) {
 	m := fixture(t, map[string]map[string]string{
 		"app": {"app.go": `package app

@@ -1,0 +1,195 @@
+package lint
+
+import "testing"
+
+// pairFixtureCfg scopes pairhygiene to the fixture module's resource
+// packages, mirroring the real table's epoch-pin and pool-client rules.
+func pairFixtureCfg() Config {
+	return Config{PairRules: []PairRule{
+		{Pkg: "epoch", Type: "Reclaimer", Acquire: "Pin", Releases: []string{"Unpin"}},
+		{Pkg: "pool", Type: "Pool", Acquire: "Acquire", Releases: []string{"Release", "Discard"}},
+	}}
+}
+
+// pairResourcePkgs are the fixture resource providers shared by every
+// pairhygiene test.
+func pairResourcePkgs() map[string]map[string]string {
+	return map[string]map[string]string{
+		"epoch": {"epoch.go": `package epoch
+
+type Reclaimer struct{}
+type Slot struct{ Gen int }
+
+func (r *Reclaimer) Pin() *Slot { return &Slot{} }
+func (s *Slot) Unpin()          {}
+`},
+		"pool": {"pool.go": `package pool
+
+type Pool struct{}
+type Client struct{}
+
+func (p *Pool) Acquire() (*Client, error) { return &Client{}, nil }
+func (p *Pool) Release(c *Client)         {}
+func (p *Pool) Discard(c *Client)         {}
+`},
+	}
+}
+
+func pairFixture(t *testing.T, appSrc string) *Module {
+	t.Helper()
+	pkgs := pairResourcePkgs()
+	pkgs["app"] = map[string]string{"app.go": appSrc}
+	return fixture(t, pkgs)
+}
+
+func TestPairHygienePositive(t *testing.T) {
+	m := pairFixture(t, `package app
+
+import (
+	"fix/epoch"
+	"fix/pool"
+)
+
+var counter int
+
+// The then-branch returns with the pin live; only a path-sensitive
+// analysis distinguishes it from the releasing path below it.
+func BranchLeak(r *epoch.Reclaimer, cond bool) {
+	s := r.Pin()
+	if cond {
+		return
+	}
+	s.Unpin()
+}
+
+// Discarded results can never be released.
+func Discards(r *epoch.Reclaimer) {
+	r.Pin()
+	_ = r.Pin()
+}
+
+// No release and no return statement: the leak is at the acquire.
+func FallsOffEnd(r *epoch.Reclaimer) {
+	s := r.Pin()
+	counter += s.Gen
+}
+
+// The error-guarded return is clean (nothing was acquired), but the
+// cond-guarded return leaks the client.
+func PoolLeak(p *pool.Pool, cond bool) error {
+	c, err := p.Acquire()
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil
+	}
+	p.Release(c)
+	return nil
+}
+`)
+	diags := runNamed(t, m, pairFixtureCfg(), "pairhygiene")
+	wantDiag(t, diags, "pairhygiene", "return may be reached with s still held", 1)
+	wantDiag(t, diags, "pairhygiene", "return may be reached with c still held", 1)
+	wantDiag(t, diags, "pairhygiene", "is discarded", 2)
+	wantDiag(t, diags, "pairhygiene", "s acquired here is not released on every path", 1)
+}
+
+func TestPairHygieneNegative(t *testing.T) {
+	m := pairFixture(t, `package app
+
+import (
+	"fix/epoch"
+	"fix/pool"
+)
+
+func use(s *epoch.Slot) {}
+
+// The canonical shape.
+func Deferred(r *epoch.Reclaimer) int {
+	s := r.Pin()
+	defer s.Unpin()
+	return s.Gen
+}
+
+// Inline release on every path.
+func Inline(r *epoch.Reclaimer, cond bool) int {
+	s := r.Pin()
+	if cond {
+		s.Unpin()
+		return 1
+	}
+	s.Unpin()
+	return 0
+}
+
+// A deferred closure releasing the pin counts.
+func DeferredClosure(r *epoch.Reclaimer) {
+	s := r.Pin()
+	defer func() {
+		s.Unpin()
+	}()
+}
+
+// A failed acquire has nothing to release: the err != nil branch must
+// not be flagged even though the client variable is in scope.
+func ErrGuard(p *pool.Pool) error {
+	c, err := p.Acquire()
+	if err != nil {
+		return err
+	}
+	defer p.Release(c)
+	return nil
+}
+
+// Release-or-discard on distinct paths, pool-style.
+func ReleaseOrDiscard(p *pool.Pool, bad bool) error {
+	c, err := p.Acquire()
+	if err != nil {
+		return err
+	}
+	if bad {
+		p.Discard(c)
+		return nil
+	}
+	p.Release(c)
+	return nil
+}
+
+// Returning the resource transfers ownership to the caller.
+func Handoff(r *epoch.Reclaimer) *epoch.Slot {
+	s := r.Pin()
+	return s
+}
+
+// So does passing it to another function or sending it away.
+func PassAlong(r *epoch.Reclaimer) {
+	s := r.Pin()
+	use(s)
+}
+
+func SendAway(r *epoch.Reclaimer, out chan *epoch.Slot) {
+	s := r.Pin()
+	out <- s
+}
+`)
+	wantNone(t, runNamed(t, m, pairFixtureCfg(), "pairhygiene"))
+}
+
+func TestPairHygieneSuppression(t *testing.T) {
+	m := pairFixture(t, `package app
+
+import "fix/epoch"
+
+var counter int
+
+// A pin held for the lifetime of the process, released by a shutdown
+// hook the analyzer cannot see.
+func HoldForever(r *epoch.Reclaimer) {
+	//lint:ignore pairhygiene pin intentionally held until process shutdown
+	s := r.Pin()
+	counter += s.Gen
+}
+`)
+	wantNone(t, runNamed(t, m, pairFixtureCfg(), "pairhygiene"))
+}

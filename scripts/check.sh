@@ -7,6 +7,8 @@
 #
 #   scripts/check.sh          # full gate
 #   SKIP_RACE=1 scripts/check.sh  # skip the -race subset (slowest stage)
+#   RACE_FULL=1 scripts/check.sh  # run the ENTIRE suite under -race, not
+#                                 # just the concurrency-sensitive subset
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -53,7 +55,13 @@ echo "$alloc_out" | awk '
     }
     END { exit bad }'
 
-if [ "${SKIP_RACE:-0}" != "1" ]; then
+if [ "${RACE_FULL:-0}" = "1" ]; then
+    # Opt-in: every package under the race detector, not just the curated
+    # subset. Slow (the lint framework re-type-checks the module per test),
+    # so it is a deliberate pre-release gate rather than the default.
+    echo "== go test -race ./... (RACE_FULL)"
+    go test -race ./...
+elif [ "${SKIP_RACE:-0}" != "1" ]; then
     echo "== go test -race (concurrency-sensitive subset)"
     go test -race \
         ./internal/telemetry/... ./internal/kvserver/... ./internal/epoch/... \
