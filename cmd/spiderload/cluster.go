@@ -16,22 +16,26 @@ import (
 
 // clusterParams carries the flag values the cluster path consumes.
 type clusterParams struct {
-	seeds     []string
-	nodes     int
-	replicas  int
-	conns     int
-	valueSz   int
-	getFrac   float64
-	keys      int
-	zipfS     float64
-	ops       int
-	preload   bool
-	seed      uint64
-	timeout   time.Duration
-	retries   int
-	jsonOut   string
-	storeMode string
-	admission string
+	seeds         []string
+	nodes         int
+	replicas      int
+	conns         int
+	valueSz       int
+	getFrac       float64
+	ngetMix       float64
+	ngetThreshold float64
+	embedDim      int
+	embedClusters int
+	keys          int
+	zipfS         float64
+	ops           int
+	preload       bool
+	seed          uint64
+	timeout       time.Duration
+	retries       int
+	jsonOut       string
+	storeMode     string
+	admission     string
 }
 
 // loadResult is the JSON summary the -json flag persists, with one schema
@@ -51,6 +55,11 @@ type loadResult struct {
 	OpsPerSec     float64  `json:"ops_per_sec"`
 	MBPerSec      float64  `json:"mb_per_sec"`
 	HitRatio      float64  `json:"hit_ratio"`
+	NGetOps       int      `json:"nget_ops"`
+	NGetExact     int      `json:"nget_exact"`
+	NGetNear      int      `json:"nget_near"`
+	NGetMiss      int      `json:"nget_miss"`
+	NGetMeanDist  float64  `json:"nget_mean_dist"`
 	P50Ms         float64  `json:"p50_ms"`
 	P95Ms         float64  `json:"p95_ms"`
 	P99Ms         float64  `json:"p99_ms"`
@@ -139,9 +148,16 @@ func clusterMain(p clusterParams) int {
 		payload[i] = byte('a' + i%26)
 	}
 
+	var embs [][]float32
+	if p.ngetMix > 0 {
+		embs = buildEmbeddings(p.seed, p.keys, p.embedDim, p.embedClusters)
+		fmt.Printf("nget mix: %.2f threshold=%.2f dim=%d clusters=%d\n",
+			p.ngetMix, p.ngetThreshold, p.embedDim, p.embedClusters)
+	}
+
 	if p.preload {
 		start := time.Now()
-		if n := preloadCluster(client, p.keys, p.conns, payload); n > 0 {
+		if n := preloadCluster(client, p.keys, p.conns, payload, embs); n > 0 {
 			fmt.Fprintf(os.Stderr, "spiderload: preload: %d keys failed\n", n)
 			return 1
 		}
@@ -156,11 +172,23 @@ func clusterMain(p clusterParams) int {
 	opsPer := p.ops / p.conns
 	start := time.Now()
 	for w := 0; w < p.conns; w++ {
-		rng := root.Split()
+		cfg := clusterWorkerConfig{
+			client:    client,
+			ops:       opsPer,
+			getFrac:   p.getFrac,
+			ngetMix:   p.ngetMix,
+			threshold: p.ngetThreshold,
+			embs:      embs,
+			keys:      p.keys,
+			zipfS:     p.zipfS,
+			payload:   payload,
+			rng:       root.Split(),
+			rtLat:     rtLat,
+		}
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w] = runClusterWorker(client, opsPer, p.getFrac, p.keys, p.zipfS, payload, rng, rtLat)
+			results[w] = runClusterWorker(cfg)
 		}(w)
 	}
 	wg.Wait()
@@ -168,20 +196,13 @@ func clusterMain(p clusterParams) int {
 
 	var total clusterWorkerResult
 	for _, r := range results {
-		total.ops += r.ops
-		total.gets += r.gets
-		total.hits += r.hits
-		total.bytes += r.bytes
+		total.add(r.loadTotals)
 		total.errors += r.errors
 		if r.lastErr != nil {
 			total.lastErr = r.lastErr
 		}
 	}
 
-	hitRatio := 0.0
-	if total.gets > 0 {
-		hitRatio = float64(total.hits) / float64(total.gets)
-	}
 	snap := rtLat.Snapshot()
 	counters := reg.Snapshot().Counters
 	var poolRetries int64
@@ -203,11 +224,6 @@ func clusterMain(p clusterParams) int {
 		Admission:     orDefault(p.admission, kvserver.AdmissionNone),
 		Nodes:         seeds,
 		Replicas:      p.replicas,
-		Ops:           total.ops,
-		ElapsedSec:    elapsed.Seconds(),
-		OpsPerSec:     float64(total.ops) / elapsed.Seconds(),
-		MBPerSec:      float64(total.bytes) / (1 << 20) / elapsed.Seconds(),
-		HitRatio:      hitRatio,
 		P50Ms:         snap.P50 * 1000,
 		P95Ms:         snap.P95 * 1000,
 		P99Ms:         snap.P99 * 1000,
@@ -222,9 +238,14 @@ func clusterMain(p clusterParams) int {
 		FinalHealth:   serving,
 		KeysPopulated: p.keys,
 	}
+	res.fillTotals(total.loadTotals, elapsed.Seconds())
 
 	fmt.Printf("ran %d ops in %v: %.0f ops/s, %.1f MB/s, hit %.1f%%\n",
-		total.ops, elapsed.Round(time.Millisecond), res.OpsPerSec, res.MBPerSec, 100*hitRatio)
+		total.ops, elapsed.Round(time.Millisecond), res.OpsPerSec, res.MBPerSec, 100*res.HitRatio)
+	if res.NGetOps > 0 {
+		fmt.Printf("nget: %d ops (exact=%d near=%d miss=%d), mean near dist=%.4f\n",
+			res.NGetOps, res.NGetExact, res.NGetNear, res.NGetMiss, res.NGetMeanDist)
+	}
 	fmt.Printf("per-op latency: p50=%s p95=%s p99=%s max=%s\n",
 		fmtDur(snap.P50), fmtDur(snap.P95), fmtDur(snap.P99), fmtDur(snap.Max))
 	fmt.Printf("resilience: client errors=%d, pool retries=%d, failover rerouted=%d exhausted=%d, discovery +%d/-%d, final nodes=%d (%d serving)\n",
@@ -260,8 +281,10 @@ func writeJSON(path string, v any) error {
 }
 
 // preloadCluster SETs every key once through the cluster client, fanned
-// over `conns` goroutines; returns how many keys failed to land.
-func preloadCluster(client *cluster.Client, keys, conns int, payload []byte) int {
+// over `conns` goroutines; returns how many keys failed to land. With
+// embeddings present each key's embedding is ESET too, so every owner's
+// semantic index is warm before measurement.
+func preloadCluster(client *cluster.Client, keys, conns int, payload []byte, embs [][]float32) int {
 	var wg sync.WaitGroup
 	fails := make([]int, conns)
 	per := (keys + conns - 1) / conns
@@ -279,6 +302,12 @@ func preloadCluster(client *cluster.Client, keys, conns int, payload []byte) int
 			for id := lo; id < hi; id++ {
 				if err := client.Set(id, payload); err != nil {
 					fails[w]++
+					continue
+				}
+				if embs != nil {
+					if err := client.ESet(id, embs[id]); err != nil {
+						fails[w]++
+					}
 				}
 			}
 		}(w, lo, hi)
@@ -291,11 +320,22 @@ func preloadCluster(client *cluster.Client, keys, conns int, payload []byte) int
 	return total
 }
 
+type clusterWorkerConfig struct {
+	client    *cluster.Client
+	ops       int
+	getFrac   float64
+	ngetMix   float64
+	threshold float64
+	embs      [][]float32 // per-key embeddings; nil disables NGETs
+	keys      int
+	zipfS     float64
+	payload   []byte
+	rng       *xrand.Rand
+	rtLat     *telemetry.Histogram
+}
+
 type clusterWorkerResult struct {
-	ops     int
-	gets    int
-	hits    int
-	bytes   int64
+	loadTotals
 	errors  int64
 	lastErr error
 }
@@ -304,16 +344,44 @@ type clusterWorkerResult struct {
 // cluster client. Errors are counted, not fatal: the run's verdict is the
 // final error count (zero on a healthy cluster, even through a node
 // kill), and stopping at the first error would understate the damage.
-func runClusterWorker(client *cluster.Client, ops int, getFrac float64, keys int, zipfS float64,
-	payload []byte, rng *xrand.Rand, rtLat *telemetry.Histogram) clusterWorkerResult {
+func runClusterWorker(cfg clusterWorkerConfig) clusterWorkerResult {
 	var res clusterWorkerResult
-	zipf := xrand.NewZipf(rng, zipfS, keys)
-	for res.ops < ops {
+	zipf := xrand.NewZipf(cfg.rng, cfg.zipfS, cfg.keys)
+	for res.ops < cfg.ops {
 		id := zipf.Next()
 		start := time.Now()
-		if rng.Float64() < getFrac {
-			v, found, err := client.Get(id)
-			rtLat.Observe(time.Since(start).Seconds())
+		switch {
+		case cfg.rng.Float64() >= cfg.getFrac:
+			err := cfg.client.Set(id, cfg.payload)
+			cfg.rtLat.Observe(time.Since(start).Seconds())
+			if err != nil {
+				res.errors++
+				res.lastErr = err
+			} else {
+				res.bytes += int64(len(cfg.payload))
+			}
+		case cfg.embs != nil && cfg.rng.Float64() < cfg.ngetMix:
+			v, near, found, err := cfg.client.NGet(id, cfg.embs[id], cfg.threshold)
+			cfg.rtLat.Observe(time.Since(start).Seconds())
+			res.ngets++
+			switch {
+			case err != nil:
+				res.errors++
+				res.lastErr = err
+				res.ngetMiss++
+			case near != nil:
+				res.ngetNear++
+				res.ngetDist += near.Dist
+				res.bytes += int64(len(v))
+			case found:
+				res.ngetExact++
+				res.bytes += int64(len(v))
+			default:
+				res.ngetMiss++
+			}
+		default:
+			v, found, err := cfg.client.Get(id)
+			cfg.rtLat.Observe(time.Since(start).Seconds())
 			res.gets++
 			if err != nil {
 				res.errors++
@@ -321,15 +389,6 @@ func runClusterWorker(client *cluster.Client, ops int, getFrac float64, keys int
 			} else if found {
 				res.hits++
 				res.bytes += int64(len(v))
-			}
-		} else {
-			err := client.Set(id, payload)
-			rtLat.Observe(time.Since(start).Seconds())
-			if err != nil {
-				res.errors++
-				res.lastErr = err
-			} else {
-				res.bytes += int64(len(payload))
 			}
 		}
 		res.ops++

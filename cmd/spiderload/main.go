@@ -66,15 +66,21 @@ func main() {
 		conns    = flag.Int("conns", 4, "concurrent client connections")
 		pipeline = flag.Int("pipeline", 16, "requests per round trip (1 = no pipelining)")
 		batch    = flag.Int("batch", 0, "use MGET/MSET with this many keys per command instead of pipelined GET/SET (0 = off)")
-		valueSz  = flag.Int("value", 3072, "payload bytes per value")
-		getFrac  = flag.Float64("get", 0.9, "fraction of operations that are GETs (rest are SETs)")
-		keys     = flag.Int("keys", 16384, "key population size")
-		zipfS    = flag.Float64("zipf", 0.99, "zipfian skew exponent over the key population (0 = uniform)")
-		ops      = flag.Int("ops", 200000, "total operations across all connections")
-		preload  = flag.Bool("preload", true, "SET every key once before measuring")
-		seed     = flag.Uint64("seed", 42, "random seed")
-		timeout  = flag.Duration("timeout", 10*time.Second, "per-connection dial/read/write timeout")
-		metrics  = flag.Bool("metrics", false, "print the server METRICS snapshot at exit")
+
+		ngetMix       = flag.Float64("nget-mix", 0, "fraction of reads issued as semantic NGETs instead of exact GETs (0 = off)")
+		ngetThreshold = flag.Float64("nget-threshold", 0.3, "cosine-distance threshold for NGET near hits")
+		embedDim      = flag.Int("embed-dim", 16, "embedding dimensionality for the NGET workload")
+		embedClusters = flag.Int("embed-clusters", 64, "number of semantic clusters the key population is drawn from")
+
+		valueSz = flag.Int("value", 3072, "payload bytes per value")
+		getFrac = flag.Float64("get", 0.9, "fraction of operations that are GETs (rest are SETs)")
+		keys    = flag.Int("keys", 16384, "key population size")
+		zipfS   = flag.Float64("zipf", 0.99, "zipfian skew exponent over the key population (0 = uniform)")
+		ops     = flag.Int("ops", 200000, "total operations across all connections")
+		preload = flag.Bool("preload", true, "SET every key once before measuring")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-connection dial/read/write timeout")
+		metrics = flag.Bool("metrics", false, "print the server METRICS snapshot at exit")
 
 		clusterSeeds = flag.String("cluster", "", "comma-separated spiderkv seed addresses; drives a ring-aware cluster client instead of one server")
 		nodesN       = flag.Int("nodes", 0, "boot this many in-process cluster daemons and drive them (implies cluster mode)")
@@ -92,8 +98,14 @@ func main() {
 	flag.Parse()
 
 	if *conns < 1 || *pipeline < 1 || *keys < 1 || *ops < 1 || *valueSz < 0 ||
-		*getFrac < 0 || *getFrac > 1 || *batch < 0 || *retries < 1 {
+		*getFrac < 0 || *getFrac > 1 || *batch < 0 || *retries < 1 ||
+		*ngetMix < 0 || *ngetMix > 1 || *ngetThreshold < 0 ||
+		*embedDim < 1 || *embedDim > kvserver.MaxEmbedDim || *embedClusters < 1 {
 		fmt.Fprintln(os.Stderr, "spiderload: invalid flag value")
+		os.Exit(2)
+	}
+	if *ngetMix > 0 && *batch > 0 {
+		fmt.Fprintln(os.Stderr, "spiderload: -nget-mix needs the pipelined GET/SET path (drop -batch)")
 		os.Exit(2)
 	}
 	if err := storeCfg.Validate(); err != nil {
@@ -117,22 +129,26 @@ func main() {
 			}
 		}
 		os.Exit(clusterMain(clusterParams{
-			seeds:     seeds,
-			nodes:     *nodesN,
-			replicas:  *replicas,
-			conns:     *conns,
-			valueSz:   *valueSz,
-			getFrac:   *getFrac,
-			keys:      *keys,
-			zipfS:     *zipfS,
-			ops:       *ops,
-			preload:   *preload,
-			seed:      *seed,
-			timeout:   *timeout,
-			retries:   *retries,
-			jsonOut:   *jsonOut,
-			storeMode: storeCfg.StoreMode,
-			admission: storeCfg.Admission,
+			seeds:         seeds,
+			nodes:         *nodesN,
+			replicas:      *replicas,
+			conns:         *conns,
+			valueSz:       *valueSz,
+			getFrac:       *getFrac,
+			ngetMix:       *ngetMix,
+			ngetThreshold: *ngetThreshold,
+			embedDim:      *embedDim,
+			embedClusters: *embedClusters,
+			keys:          *keys,
+			zipfS:         *zipfS,
+			ops:           *ops,
+			preload:       *preload,
+			seed:          *seed,
+			timeout:       *timeout,
+			retries:       *retries,
+			jsonOut:       *jsonOut,
+			storeMode:     storeCfg.StoreMode,
+			admission:     storeCfg.Admission,
 		}))
 	}
 
@@ -188,6 +204,14 @@ func main() {
 	if *batch > 0 {
 		mode = fmt.Sprintf("batch=%d (MGET/MSET)", *batch)
 	}
+	// The NGET workload needs a per-key embedding; build them up front so
+	// every worker (and the preload ESETs) sees the same clustered space.
+	var embs [][]float32
+	if *ngetMix > 0 {
+		embs = buildEmbeddings(*seed, *keys, *embedDim, *embedClusters)
+		mode += fmt.Sprintf(" nget-mix=%.2f threshold=%.2f dim=%d clusters=%d",
+			*ngetMix, *ngetThreshold, *embedDim, *embedClusters)
+	}
 	fmt.Printf("spiderload: addr=%s conns=%d %s value=%dB get=%.2f keys=%d zipf=%.2f ops=%d\n",
 		target, *conns, mode, *valueSz, *getFrac, *keys, *zipfS, *ops)
 
@@ -217,7 +241,7 @@ func main() {
 
 	if *preload {
 		start := time.Now()
-		if err := preloadKeys(pool, *retries, *keys, payload); err != nil {
+		if err := preloadKeys(pool, *retries, *keys, payload, embs); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("preloaded %d keys in %v\n", *keys, time.Since(start).Round(time.Millisecond))
@@ -232,17 +256,20 @@ func main() {
 	start := time.Now()
 	for w := 0; w < *conns; w++ {
 		cfg := workerConfig{
-			pool:     pool,
-			attempts: *retries,
-			ops:      opsPer,
-			pipeline: *pipeline,
-			batch:    *batch,
-			getFrac:  *getFrac,
-			keys:     *keys,
-			zipfS:    *zipfS,
-			payload:  payload,
-			rng:      root.Split(),
-			rtLat:    rtLat,
+			pool:      pool,
+			attempts:  *retries,
+			ops:       opsPer,
+			pipeline:  *pipeline,
+			batch:     *batch,
+			getFrac:   *getFrac,
+			ngetMix:   *ngetMix,
+			threshold: *ngetThreshold,
+			embs:      embs,
+			keys:      *keys,
+			zipfS:     *zipfS,
+			payload:   payload,
+			rng:       root.Split(),
+			rtLat:     rtLat,
 		}
 		wg.Add(1)
 		go func(w int) {
@@ -258,25 +285,35 @@ func main() {
 		if r.err != nil && total.err == nil {
 			total.err = r.err
 		}
-		total.ops += r.ops
-		total.gets += r.gets
-		total.hits += r.hits
-		total.bytes += r.bytes
+		total.add(r.loadTotals)
 		total.windowRetries += r.windowRetries
 	}
 	if total.err != nil {
 		fatal(total.err)
 	}
 
-	opsPerSec := float64(total.ops) / elapsed.Seconds()
-	mbPerSec := float64(total.bytes) / (1 << 20) / elapsed.Seconds()
-	hitRatio := 0.0
-	if total.gets > 0 {
-		hitRatio = float64(total.hits) / float64(total.gets)
+	// One summarizer (fillTotals) derives every ratio for both the report
+	// lines and the -json file, so the division guards live in one place.
+	res := loadResult{
+		Mode:          "single",
+		StoreMode:     storeCfg.StoreMode,
+		Admission:     storeCfg.Admission,
+		Nodes:         []string{target},
+		Replicas:      1,
+		PoolRetries:   poolRetries(clientReg),
+		FinalNodeSet:  []string{target},
+		FinalHealth:   1,
+		KeysPopulated: *keys,
 	}
+	res.fillTotals(total.loadTotals, elapsed.Seconds())
 	fmt.Printf("ran %d ops in %v: %.0f ops/s, %.1f MB/s, hit %.1f%%\n",
-		total.ops, elapsed.Round(time.Millisecond), opsPerSec, mbPerSec, 100*hitRatio)
+		res.Ops, elapsed.Round(time.Millisecond), res.OpsPerSec, res.MBPerSec, 100*res.HitRatio)
+	if res.NGetOps > 0 {
+		fmt.Printf("nget: %d ops (exact=%d near=%d miss=%d), mean near dist=%.4f\n",
+			res.NGetOps, res.NGetExact, res.NGetNear, res.NGetMiss, res.NGetMeanDist)
+	}
 	snap := rtLat.Snapshot()
+	res.P50Ms, res.P95Ms, res.P99Ms, res.MaxMs = snap.P50*1000, snap.P95*1000, snap.P99*1000, snap.Max*1000
 	fmt.Printf("round-trip latency (per request window of %d): p50=%s p95=%s p99=%s max=%s\n",
 		windowOps(*pipeline, *batch), fmtDur(snap.P50), fmtDur(snap.P95), fmtDur(snap.P99), fmtDur(snap.Max))
 
@@ -290,26 +327,6 @@ func main() {
 		// Same schema as cluster mode (see loadResult); a single-node run
 		// reaches this point only with zero client-visible errors, and the
 		// cluster-only resilience counters stay zero.
-		res := loadResult{
-			Mode:          "single",
-			StoreMode:     storeCfg.StoreMode,
-			Admission:     storeCfg.Admission,
-			Nodes:         []string{target},
-			Replicas:      1,
-			Ops:           total.ops,
-			ElapsedSec:    elapsed.Seconds(),
-			OpsPerSec:     opsPerSec,
-			MBPerSec:      mbPerSec,
-			HitRatio:      hitRatio,
-			P50Ms:         snap.P50 * 1000,
-			P95Ms:         snap.P95 * 1000,
-			P99Ms:         snap.P99 * 1000,
-			MaxMs:         snap.Max * 1000,
-			PoolRetries:   poolRetries(clientReg),
-			FinalNodeSet:  []string{target},
-			FinalHealth:   1,
-			KeysPopulated: *keys,
-		}
 		if err := writeJSON(*jsonOut, res); err != nil {
 			fatal(err)
 		}
@@ -358,7 +375,7 @@ func faultSummary(reg *telemetry.Registry) string {
 // poolRetries sums kv_retries_total across ops for the load pool.
 func poolRetries(reg *telemetry.Registry) int64 {
 	var n int64
-	for _, op := range []string{"get", "mget", "set", "mset", "del"} {
+	for _, op := range []string{"get", "mget", "set", "mset", "del", "nget", "eset"} {
 		n += reg.Snapshot().Counters[fmt.Sprintf("kv_retries_total{node=%q,op=%q}", "load", op)]
 	}
 	return n
@@ -410,52 +427,87 @@ func retryWindow(attempts int, res *workerResult, fn func() error) error {
 // pool) so GET traffic starts warm. Chunks are kept small: under fault
 // injection a window's failure probability grows with the bytes it moves,
 // so a huge MSET could exhaust any fixed retry budget. The budget is also
-// widened — preload is setup, not measurement, so patience is free.
-func preloadKeys(pool *kvserver.Pool, attempts, n int, payload []byte) error {
+// widened — preload is setup, not measurement, so patience is free. With
+// embeddings present (an NGET run) every key's embedding is ESET in the
+// same chunking, so the semantic index is warm before measurement too.
+func preloadKeys(pool *kvserver.Pool, attempts, n int, payload []byte, embs [][]float32) error {
 	const chunk = 64
 	keys := make([]string, 0, chunk)
 	values := make([][]byte, 0, chunk)
+	ids := make([]int, 0, chunk)
 	for i := 0; i < n; i++ {
 		keys = append(keys, key(i))
 		values = append(values, payload)
+		ids = append(ids, i)
 		if len(keys) == chunk || i == n-1 {
 			k, v := keys, values
 			if err := retryWindow(4*attempts, nil, func() error { return pool.MSet(k, v) }); err != nil {
 				return err
 			}
-			keys, values = keys[:0], values[:0]
+			if embs != nil {
+				idc := ids
+				err := retryWindow(4*attempts, nil, func() error {
+					return pool.Do(func(c *kvserver.Client) error {
+						p := c.Pipeline()
+						for _, id := range idc {
+							p.ESet(key(id), embs[id])
+						}
+						rs, err := p.Exec()
+						if err != nil {
+							return err
+						}
+						for _, r := range rs {
+							if r.Err != nil {
+								return r.Err
+							}
+						}
+						return nil
+					})
+				})
+				if err != nil {
+					return err
+				}
+			}
+			keys, values, ids = keys[:0], values[:0], ids[:0]
 		}
 	}
 	return nil
 }
 
 type workerConfig struct {
-	pool     *kvserver.Pool
-	attempts int
-	ops      int
-	pipeline int
-	batch    int
-	getFrac  float64
-	keys     int
-	zipfS    float64
-	payload  []byte
-	rng      *xrand.Rand
-	rtLat    *telemetry.Histogram
+	pool      *kvserver.Pool
+	attempts  int
+	ops       int
+	pipeline  int
+	batch     int
+	getFrac   float64
+	ngetMix   float64
+	threshold float64
+	embs      [][]float32 // per-key embeddings; nil disables NGETs
+	keys      int
+	zipfS     float64
+	payload   []byte
+	rng       *xrand.Rand
+	rtLat     *telemetry.Histogram
 }
 
 type workerResult struct {
-	ops           int
-	gets          int
-	hits          int
-	bytes         int64
+	loadTotals
 	windowRetries int
 	err           error
 }
 
+// The per-slot op kinds a pipelined window is drawn from.
+const (
+	loadSet = iota
+	loadGet
+	loadNGet
+)
+
 // runWorker is one closed-loop lane: it keeps issuing request windows (a
-// pipeline of GET/SETs, or one MGET/MSET batch) through the shared pool
-// until its operation quota is spent. Each window's ops are drawn before
-// sending, so a faulted window retries with identical contents.
+// pipeline of GET/SET/NGETs, or one MGET/MSET batch) through the shared
+// pool until its operation quota is spent. Each window's ops are drawn
+// before sending, so a faulted window retries with identical contents.
 func runWorker(cfg workerConfig) workerResult {
 	var res workerResult
 	zipf := xrand.NewZipf(cfg.rng, cfg.zipfS, cfg.keys)
@@ -465,8 +517,8 @@ func runWorker(cfg workerConfig) workerResult {
 		return res
 	}
 
-	isGet := make([]bool, cfg.pipeline)
-	keys := make([]string, cfg.pipeline)
+	kinds := make([]uint8, cfg.pipeline)
+	ids := make([]int, cfg.pipeline)
 	for res.ops < cfg.ops {
 		window := cfg.pipeline
 		if remaining := cfg.ops - res.ops; window > remaining {
@@ -474,10 +526,15 @@ func runWorker(cfg workerConfig) workerResult {
 		}
 		sets := 0
 		for i := 0; i < window; i++ {
-			keys[i] = key(zipf.Next())
-			isGet[i] = cfg.rng.Float64() < cfg.getFrac
-			if !isGet[i] {
+			ids[i] = zipf.Next()
+			switch {
+			case cfg.rng.Float64() >= cfg.getFrac:
+				kinds[i] = loadSet
 				sets++
+			case cfg.embs != nil && cfg.rng.Float64() < cfg.ngetMix:
+				kinds[i] = loadNGet
+			default:
+				kinds[i] = loadGet
 			}
 		}
 		var results []kvserver.Result
@@ -485,10 +542,13 @@ func runWorker(cfg workerConfig) workerResult {
 			return cfg.pool.Do(func(c *kvserver.Client) error {
 				p := c.Pipeline()
 				for i := 0; i < window; i++ {
-					if isGet[i] {
-						p.Get(keys[i])
-					} else {
-						p.Set(keys[i], cfg.payload)
+					switch kinds[i] {
+					case loadGet:
+						p.Get(key(ids[i]))
+					case loadNGet:
+						p.NGet(key(ids[i]), cfg.embs[ids[i]], cfg.threshold)
+					default:
+						p.Set(key(ids[i]), cfg.payload)
 					}
 				}
 				start := time.Now()
@@ -510,16 +570,30 @@ func runWorker(cfg workerConfig) workerResult {
 			res.err = err
 			return res
 		}
-		for _, r := range results {
-			if r.Found {
-				res.hits++
+		for i, r := range results {
+			switch kinds[i] {
+			case loadGet:
+				res.gets++
+				if r.Found {
+					res.hits++
+				}
+			case loadNGet:
+				res.ngets++
+				switch {
+				case r.Near != nil:
+					res.ngetNear++
+					res.ngetDist += r.Near.Dist
+				case r.Found:
+					res.ngetExact++
+				default:
+					res.ngetMiss++
+				}
 			}
 			if r.Value != nil {
 				res.bytes += int64(len(r.Value))
 			}
 		}
 		res.ops += window
-		res.gets += window - sets
 		res.bytes += int64(sets * len(cfg.payload))
 	}
 	return res

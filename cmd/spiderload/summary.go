@@ -1,0 +1,122 @@
+package main
+
+import (
+	"math"
+
+	"spidercache/internal/xrand"
+)
+
+// loadTotals is the raw volume a run accumulated, summed across workers.
+// Both the single-node path (workerResult) and the cluster path
+// (clusterWorkerResult) embed it so one summarizer serves both.
+type loadTotals struct {
+	ops       int
+	gets      int // exact GETs only; NGETs are counted separately
+	hits      int
+	bytes     int64
+	ngets     int
+	ngetExact int
+	ngetNear  int
+	ngetMiss  int
+	ngetDist  float64 // sum of NEAR distances, for the mean
+}
+
+// add folds another worker's totals into t.
+func (t *loadTotals) add(o loadTotals) {
+	t.ops += o.ops
+	t.gets += o.gets
+	t.hits += o.hits
+	t.bytes += o.bytes
+	t.ngets += o.ngets
+	t.ngetExact += o.ngetExact
+	t.ngetNear += o.ngetNear
+	t.ngetMiss += o.ngetMiss
+	t.ngetDist += o.ngetDist
+}
+
+// fillTotals populates the volume-derived fields of a loadResult from the
+// aggregated worker totals. Every division is guarded: a run with zero
+// GETs (-get 0, or -nget-mix 1 which turns all reads into NGETs) must
+// report a 0.0 hit ratio rather than NaN — NaN is not valid JSON, so one
+// unguarded division would make the -json file unparsable and poison any
+// A/B diff built on it. Same for the mean NEAR distance when no NGET was
+// answered semantically.
+func (res *loadResult) fillTotals(t loadTotals, elapsedSec float64) {
+	res.Ops = t.ops
+	res.ElapsedSec = elapsedSec
+	res.OpsPerSec = ratio(float64(t.ops), elapsedSec)
+	res.MBPerSec = ratio(float64(t.bytes)/(1<<20), elapsedSec)
+	res.HitRatio = ratio(float64(t.hits), float64(t.gets))
+	res.NGetOps = t.ngets
+	res.NGetExact = t.ngetExact
+	res.NGetNear = t.ngetNear
+	res.NGetMiss = t.ngetMiss
+	res.NGetMeanDist = ratio(t.ngetDist, float64(t.ngetNear))
+}
+
+// ratio is num/den with a 0.0 (not NaN/Inf) result for an empty or
+// degenerate denominator.
+func ratio(num, den float64) float64 {
+	if den <= 0 || math.IsNaN(den) {
+		return 0
+	}
+	return num / den
+}
+
+// buildEmbeddings returns one unit-norm embedding per key, drawn from
+// `clusters` independent random centroids plus small within-cluster
+// noise; key i belongs to cluster i%clusters. This makes the key space
+// genuinely clustered in embedding space: same-cluster keys sit at a
+// cosine distance of a few hundredths of each other while cross-cluster
+// pairs are near-orthogonal (cosine distance ≈ 1), so an NGET threshold
+// in between serves only true semantic neighbors.
+func buildEmbeddings(seed uint64, n, dim, clusters int) [][]float32 {
+	rng := xrand.New(seed ^ 0x9e3779b97f4a7c15)
+	if clusters > n {
+		clusters = n
+	}
+	cents := make([][]float64, clusters)
+	for c := range cents {
+		cents[c] = randUnitVec(rng, dim)
+	}
+	const noise = 0.08 // std-dev per component around the centroid
+	out := make([][]float32, n)
+	v := make([]float64, dim)
+	for k := range out {
+		cent := cents[k%clusters]
+		for i := range v {
+			v[i] = cent[i] + noise*rng.NormFloat64()
+		}
+		normalizeVec(v)
+		emb := make([]float32, dim)
+		for i := range v {
+			emb[i] = float32(v[i])
+		}
+		out[k] = emb
+	}
+	return out
+}
+
+func randUnitVec(rng *xrand.Rand, dim int) []float64 {
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	normalizeVec(v)
+	return v
+}
+
+func normalizeVec(v []float64) {
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	n = math.Sqrt(n)
+	if n == 0 {
+		v[0] = 1 // degenerate draw; any unit vector will do
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// A workload with zero GETs (-get 0, or -nget-mix 1) must summarize to a
+// 0.0 hit ratio, not NaN: NaN is not valid JSON, so the -json file would
+// be unparsable.
+func TestFillTotalsZeroGets(t *testing.T) {
+	var res loadResult
+	res.fillTotals(loadTotals{ops: 100, gets: 0, hits: 0, bytes: 1 << 20}, 2)
+	if math.IsNaN(res.HitRatio) || res.HitRatio != 0 {
+		t.Fatalf("HitRatio = %v, want 0", res.HitRatio)
+	}
+	if res.OpsPerSec != 50 {
+		t.Fatalf("OpsPerSec = %v, want 50", res.OpsPerSec)
+	}
+	if res.MBPerSec != 0.5 {
+		t.Fatalf("MBPerSec = %v, want 0.5", res.MBPerSec)
+	}
+	if res.NGetMeanDist != 0 {
+		t.Fatalf("NGetMeanDist = %v, want 0 with no near hits", res.NGetMeanDist)
+	}
+	// The whole summary must serialize to valid JSON.
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+func TestFillTotalsRatios(t *testing.T) {
+	var res loadResult
+	res.fillTotals(loadTotals{
+		ops: 200, gets: 80, hits: 60, bytes: 4 << 20,
+		ngets: 40, ngetExact: 10, ngetNear: 20, ngetMiss: 10, ngetDist: 5,
+	}, 4)
+	if res.HitRatio != 0.75 {
+		t.Fatalf("HitRatio = %v, want 0.75", res.HitRatio)
+	}
+	if res.NGetMeanDist != 0.25 {
+		t.Fatalf("NGetMeanDist = %v, want 0.25", res.NGetMeanDist)
+	}
+	if res.NGetOps != 40 || res.NGetExact != 10 || res.NGetNear != 20 || res.NGetMiss != 10 {
+		t.Fatalf("nget counters = %d/%d/%d/%d", res.NGetOps, res.NGetExact, res.NGetNear, res.NGetMiss)
+	}
+}
+
+// Degenerate denominators (zero elapsed time, zero of everything) must
+// never produce NaN or Inf in any derived field.
+func TestFillTotalsDegenerate(t *testing.T) {
+	var res loadResult
+	res.fillTotals(loadTotals{}, 0)
+	for name, v := range map[string]float64{
+		"OpsPerSec":    res.OpsPerSec,
+		"MBPerSec":     res.MBPerSec,
+		"HitRatio":     res.HitRatio,
+		"NGetMeanDist": res.NGetMeanDist,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s = %v, want finite", name, v)
+		}
+	}
+}
+
+// Embeddings must be unit-norm and genuinely clustered: same-cluster
+// keys close in cosine distance, cross-cluster keys near-orthogonal.
+func TestBuildEmbeddings(t *testing.T) {
+	const n, dim, clusters = 256, 16, 8
+	embs := buildEmbeddings(7, n, dim, clusters)
+	if len(embs) != n {
+		t.Fatalf("got %d embeddings, want %d", len(embs), n)
+	}
+	cos := func(a, b []float32) float64 {
+		var dot float64
+		for i := range a {
+			dot += float64(a[i]) * float64(b[i])
+		}
+		return 1 - dot
+	}
+	for i, e := range embs {
+		var norm float64
+		for _, x := range e {
+			norm += float64(x) * float64(x)
+		}
+		if math.Abs(norm-1) > 1e-3 {
+			t.Fatalf("embedding %d has norm² %v, want 1", i, norm)
+		}
+	}
+	// Key i is in cluster i%clusters: i and i+clusters are same-cluster,
+	// i and i+1 are different clusters.
+	var same, cross float64
+	pairs := 0
+	for i := 0; i+clusters < n; i += clusters {
+		same += cos(embs[i], embs[i+clusters])
+		cross += cos(embs[i], embs[i+1])
+		pairs++
+	}
+	same /= float64(pairs)
+	cross /= float64(pairs)
+	if same > 0.2 {
+		t.Fatalf("mean same-cluster cosine distance %v, want < 0.2", same)
+	}
+	if cross < 0.5 {
+		t.Fatalf("mean cross-cluster cosine distance %v, want > 0.5", cross)
+	}
+}

@@ -292,6 +292,68 @@ func (c *Client) Get(id int) (value []byte, found bool, err error) {
 	return nil, false, fmt.Errorf("%w: %w", ErrNoNodes, lastErr)
 }
 
+// NGet is Get with a semantic fallback (the NGET verb): each replica
+// owner is tried in placement order, and a near miss — the owner
+// answered but had neither the key nor a close-enough resident
+// neighbor — falls through to the next replica exactly like a clean
+// GET miss, since a replica may hold (or have a substitute for) what
+// the primary evicted. found covers exact and near hits; near is
+// non-nil only for substitutes.
+func (c *Client) NGet(id int, emb []float32, threshold float64) (value []byte, near *kvserver.Near, found bool, err error) {
+	var lastErr error
+	reachable, failedBefore := false, false
+	for _, pool := range c.candidates(id) {
+		v, nr, ok, err := pool.NGet(key(id), emb, threshold)
+		if err == nil {
+			if failedBefore {
+				c.tel.rerouted.Inc()
+				failedBefore = false // count one reroute per op
+			}
+			if ok {
+				return v, nr, true, nil
+			}
+			reachable = true
+			continue
+		}
+		lastErr = err
+		failedBefore = true
+	}
+	if reachable {
+		return nil, nil, false, nil
+	}
+	c.tel.exhausted.Inc()
+	if lastErr == nil {
+		lastErr = ErrNoNodes
+	}
+	return nil, nil, false, fmt.Errorf("%w: %w", ErrNoNodes, lastErr)
+}
+
+// ESet attaches the embedding for a sample ID on EVERY reachable
+// replica owner, not just the first: semantic indexes are node-local
+// (ESET has no server-side fan-out, unlike SET's RSET replication), so
+// each owner that may later serve an NGET for this ring neighborhood
+// needs its own copy. Re-indexing an embedding is idempotent, which is
+// why the blanket fan-out is safe. An error means no owner took it.
+func (c *Client) ESet(id int, emb []float32) error {
+	var lastErr error
+	landed := 0
+	for _, pool := range c.candidates(id) {
+		if err := pool.ESet(key(id), emb); err != nil {
+			lastErr = err
+			continue
+		}
+		landed++
+	}
+	if landed > 0 {
+		return nil
+	}
+	c.tel.exhausted.Inc()
+	if lastErr == nil {
+		lastErr = ErrNoNodes
+	}
+	return fmt.Errorf("%w: %w", ErrNoNodes, lastErr)
+}
+
 // Set stores the payload for a sample ID on the first reachable replica
 // owner. See the Client doc for why rerouting a cache Set is safe.
 func (c *Client) Set(id int, payload []byte) error {

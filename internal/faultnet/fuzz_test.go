@@ -68,30 +68,54 @@ func FuzzClientFraming(f *testing.F) {
 		defer c.Close()
 
 		k := sanitizeKey(key) + "-" + strconv.FormatInt(fuzzCase.Add(1), 10)
+		// A per-case embedding exercises the binary embedding frame
+		// (ESET payload, NGET request) through the same fault stream.
+		// NGETs use threshold 0, which the server serves with exact GET
+		// semantics — so the Get invariants below apply verbatim and a
+		// NEAR reply would itself be a framing bug.
+		emb := []float32{float32(seed%97) + 1, float32(len(value)%13) + 1}
 		wrote := false
-		for i := 0; i < 8; i++ {
-			if i%2 == 0 {
-				if err := c.Set(k, value); err == nil {
-					wrote = true
-				}
-				continue
-			}
-			got, found, err := c.Get(k)
-			if err != nil {
-				continue // fault surfaced as an error: allowed
-			}
+		checkRead := func(got []byte, found bool) {
 			if wrote {
 				if !found {
-					t.Fatalf("Get after successful Set: not found (seed=%d)", seed)
+					t.Fatalf("read after successful Set: not found (seed=%d)", seed)
 				}
 				if !bytes.Equal(got, value) {
-					t.Fatalf("Get returned corrupt value: got %d bytes, want %d (seed=%d)", len(got), len(value), seed)
+					t.Fatalf("read returned corrupt value: got %d bytes, want %d (seed=%d)", len(got), len(value), seed)
 				}
 			} else if found && !bytes.Equal(got, value) {
 				// A Set that errored may or may not have landed, but if a
 				// value exists it must be the exact payload — never a
 				// torn/corrupt one.
-				t.Fatalf("Get returned torn value after failed Set (seed=%d)", seed)
+				t.Fatalf("read returned torn value after failed Set (seed=%d)", seed)
+			}
+		}
+		for i := 0; i < 12; i++ {
+			switch i % 4 {
+			case 0:
+				if err := c.Set(k, value); err == nil {
+					wrote = true
+				}
+			case 1:
+				got, found, err := c.Get(k)
+				if err != nil {
+					continue // fault surfaced as an error: allowed
+				}
+				checkRead(got, found)
+			case 2:
+				// Faults may surface as errors; a clean STORED means the
+				// embedding frame survived the wire intact.
+				//lint:ignore errcheck fault-injected ESet may fail; framing is checked by the NGet below
+				c.ESet(k, emb)
+			default:
+				got, near, found, err := c.NGet(k, emb, 0)
+				if err != nil {
+					continue
+				}
+				if near != nil {
+					t.Fatalf("threshold-0 NGet answered NEAR %q (seed=%d)", near.Key, seed)
+				}
+				checkRead(got, found)
 			}
 		}
 	})

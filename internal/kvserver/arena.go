@@ -60,7 +60,8 @@ type arenaStore struct {
 	shards      []*arenaShard
 	stats_      []shardStat // contiguous padded per-shard counters
 	mask        uint64
-	adm         *admission // nil: admit everything
+	adm         *admission   // nil: admit everything
+	onEvict     func(string) // eviction notification; set before serving, nil ok
 	rec         *epoch.Reclaimer
 	deadG       *telemetry.Gauge
 	compactions *telemetry.Counter
@@ -399,30 +400,49 @@ func (s *arenaStore) keys() []string {
 	return out
 }
 
+func (s *arenaStore) setEvictHook(fn func(string)) { s.onEvict = fn }
+
 func (s *arenaStore) set(key string, value []byte) {
 	h := fnv1a64String(key)
 	if s.adm != nil {
 		s.adm.touch(h)
 	}
 	sh := s.shards[h&s.mask]
+	var evicted string
+	hasEvicted := false
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if ip, ok := sh.entries[h]; ok {
 		// Overwrite — of this key, or (vanishingly rare 64-bit collision)
 		// displacement of another key owning the same hash; either way the
 		// slot's span is replaced whole.
 		e := sh.entryAt(ip - 1)
 		old := e.loc.Load()
+		if s.onEvict != nil {
+			// A displaced colliding key vanishes from the store here, so
+			// it must be reported like any other eviction. Resolving the
+			// old span only materializes a key string on the collision
+			// path (the comparison itself does not allocate).
+			if span, live := sh.resolve(old); live && string(spanKey(span)) != key {
+				evicted, hasEvicted = string(spanKey(span)), true
+			}
+		}
 		e.loc.Store(sh.alloc(key, value))
 		sh.kill(old)
 		e.stamp.Store(sh.clock.Add(1))
 	} else {
 		if len(sh.entries) >= sh.capacity {
 			if vs := sh.sampleVictim(); vs >= 0 {
-				if s.adm != nil && !s.adm.admit(h, sh.entryAt(uint32(vs)).hash) {
+				victim := sh.entryAt(uint32(vs))
+				if s.adm != nil && !s.adm.admit(h, victim.hash) {
 					// Rejected: the touch above still credited the key, so a
 					// key that keeps arriving eventually earns admission.
+					sh.mu.Unlock()
 					return
+				}
+				if s.onEvict != nil {
+					if span, live := sh.resolve(victim.loc.Load()); live {
+						evicted, hasEvicted = string(spanKey(span)), true
+					}
 				}
 				sh.drop(uint32(vs))
 			}
@@ -440,6 +460,12 @@ func (s *arenaStore) set(key string, value []byte) {
 	}
 	sh.maybeCompact(s)
 	sh.refreshGauges(s)
+	sh.mu.Unlock()
+	// Outside the shard lock: the hook may take its own locks without
+	// entering the shard-lock ordering (see the store interface).
+	if hasEvicted && s.onEvict != nil {
+		s.onEvict(evicted)
+	}
 }
 
 func (s *arenaStore) del(key string) bool {

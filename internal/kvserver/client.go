@@ -2,9 +2,11 @@ package kvserver
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"strconv"
 	"strings"
@@ -328,6 +330,149 @@ func (c *Client) MSet(keys []string, values [][]byte) error {
 		}
 	}
 	return nil
+}
+
+// Near identifies the substitute behind a semantic (NEAR) hit: which
+// resident neighbor's value was served and how far its embedding sits
+// from the query, in cosine distance.
+type Near struct {
+	Key  string
+	Dist float64
+}
+
+// validEmbedding rejects embeddings the wire protocol cannot carry.
+func validEmbedding(emb []float32) error {
+	if len(emb) < 1 || len(emb) > MaxEmbedDim {
+		return fmt.Errorf("%w: embedding dim %d (want 1..%d)", errBadRequest, len(emb), MaxEmbedDim)
+	}
+	return nil
+}
+
+// writeEmbedPayload appends the raw little-endian float32 payload.
+func (c *Client) writeEmbedPayload(emb []float32) error {
+	var b [4]byte
+	for _, f := range emb {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(f))
+		if _, err := c.w.Write(b[:]); err != nil {
+			return err
+		}
+	}
+	_, err := c.w.WriteString("\r\n")
+	return err
+}
+
+// writeESetFrame appends one "ESET <key> <dim>\r\n<embedding>\r\n"
+// request without flushing.
+func (c *Client) writeESetFrame(key string, emb []float32) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	if err := validEmbedding(emb); err != nil {
+		return err
+	}
+	c.w.WriteString("ESET ")
+	c.w.WriteString(key)
+	c.w.WriteByte(' ')
+	c.w.WriteString(strconv.Itoa(len(emb)))
+	c.w.WriteString("\r\n")
+	return c.writeEmbedPayload(emb)
+}
+
+// writeNGetFrame appends one "NGET <key> <threshold> <dim>\r\n
+// <embedding>\r\n" request without flushing.
+func (c *Client) writeNGetFrame(key string, emb []float32, threshold float64) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	if err := validEmbedding(emb); err != nil {
+		return err
+	}
+	if math.IsNaN(threshold) || math.IsInf(threshold, 0) || threshold < 0 {
+		return fmt.Errorf("%w: invalid NGET threshold %v", errBadRequest, threshold)
+	}
+	c.w.WriteString("NGET ")
+	c.w.WriteString(key)
+	c.w.WriteByte(' ')
+	c.w.WriteString(strconv.FormatFloat(threshold, 'f', -1, 64))
+	c.w.WriteByte(' ')
+	c.w.WriteString(strconv.Itoa(len(emb)))
+	c.w.WriteString("\r\n")
+	return c.writeEmbedPayload(emb)
+}
+
+// readNGetReply parses VALUE (exact hit), NEAR (semantic substitute)
+// or NOT_FOUND. found covers both hit kinds; near is non-nil only for
+// NEAR.
+func (c *Client) readNGetReply() (value []byte, near *Near, found bool, err error) {
+	line, err := c.readLine()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	switch {
+	case line == "NOT_FOUND":
+		return nil, nil, false, nil
+	case strings.HasPrefix(line, "VALUE "):
+		n, err := strconv.Atoi(strings.TrimPrefix(line, "VALUE "))
+		if err != nil || n < 0 || n > MaxValueSize {
+			return nil, nil, false, fmt.Errorf("kvserver: bad VALUE header %q", line)
+		}
+		value := make([]byte, n)
+		if err := c.readFull(value); err != nil {
+			return nil, nil, false, err
+		}
+		if err := c.readTrailingCRLF(); err != nil {
+			return nil, nil, false, err
+		}
+		return value, nil, true, nil
+	case strings.HasPrefix(line, "NEAR "):
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, nil, false, fmt.Errorf("kvserver: bad NEAR header %q", line)
+		}
+		dist, derr := strconv.ParseFloat(fields[2], 64)
+		n, nerr := strconv.Atoi(fields[3])
+		if derr != nil || nerr != nil || dist < 0 || n < 0 || n > MaxValueSize {
+			return nil, nil, false, fmt.Errorf("kvserver: bad NEAR header %q", line)
+		}
+		value := make([]byte, n)
+		if err := c.readFull(value); err != nil {
+			return nil, nil, false, err
+		}
+		if err := c.readTrailingCRLF(); err != nil {
+			return nil, nil, false, err
+		}
+		return value, &Near{Key: fields[1], Dist: dist}, true, nil
+	default:
+		return nil, nil, false, fmt.Errorf("kvserver: NGET failed: %s", line)
+	}
+}
+
+// ESet attaches emb as key's embedding in the server's node-local
+// semantic index (the ESET verb). The index and the value store are
+// independent: ESet neither requires nor creates a stored value.
+func (c *Client) ESet(key string, emb []float32) error {
+	if err := c.writeESetFrame(key, emb); err != nil {
+		return err
+	}
+	if err := c.flush(); err != nil {
+		return err
+	}
+	return c.readStoredReply("ESET")
+}
+
+// NGet is Get with a semantic fallback (the NGET verb): an exact hit
+// returns (value, nil, true); a near hit — the nearest resident
+// neighbor within the cosine-distance threshold — returns its value
+// with a non-nil near; a miss returns found == false. threshold 0
+// requests exact-only (GET) semantics.
+func (c *Client) NGet(key string, emb []float32, threshold float64) (value []byte, near *Near, found bool, err error) {
+	if err := c.writeNGetFrame(key, emb, threshold); err != nil {
+		return nil, nil, false, err
+	}
+	if err := c.flush(); err != nil {
+		return nil, nil, false, err
+	}
+	return c.readNGetReply()
 }
 
 // Del removes key; ok reports whether it was present.

@@ -39,10 +39,19 @@ func FuzzServeOne(f *testing.F) {
 	f.Add([]byte("MSET 1\r\na 1\r\nz\r\nMGET a b\r\nSTATS\r\n"))
 	f.Add([]byte("GET a\r\nGET b\r\nGET c\r\nQUIT\r\nGET d\r\n"))
 	f.Add([]byte("SET k 2\r\nvvXXGET k\r\n")) // bad framing mid-pipeline
+	// Semantic verbs. "\x00\x00\x80?" is float32(1.0) little-endian.
+	f.Add([]byte("ESET k 2\r\n\x00\x00\x80?\x00\x00\x80?\r\n"))
+	f.Add([]byte("NGET k 0.5 2\r\n\x00\x00\x80?\x00\x00\x80?\r\n"))
+	f.Add([]byte("ESET k 2\r\n\x00\x00\x80?\x00\x00\x80?\r\nNGET k 0 2\r\n\x00\x00\x80?\x00\x00\x80?\r\n"))
+	f.Add([]byte("NGET k nan 2\r\n\x00\x00\x80?\x00\x00\x80?\r\n"))   // bad threshold
+	f.Add([]byte("NGET k -1 2\r\n\x00\x00\x80?\x00\x00\x80?\r\n"))    // negative threshold
+	f.Add([]byte("ESET k 0\r\n\r\n"))                                 // zero dim
+	f.Add([]byte("ESET k 99999\r\n"))                                 // over MaxEmbedDim
+	f.Add([]byte("ESET k 2\r\n\x00\x00\x80?\r\n"))                    // truncated payload
+	f.Add([]byte("ESET k 2\r\n\x00\x00\x00\x00\x00\x00\x00\x00\r\n")) // zero vector
 	f.Fuzz(func(t *testing.T, input []byte) {
 		reg := telemetry.NewRegistry()
-		st := newStore(8)
-		srv := &Server{store: st, reg: reg, tel: newServerTelemetry(reg, st.numShards())}
+		srv := newServerCore(newStore(8), reg)
 		r := bufio.NewReader(bytes.NewReader(input))
 		var out bytes.Buffer
 		w := bufio.NewWriter(&out)
@@ -69,7 +78,8 @@ func FuzzServeOne(f *testing.F) {
 func knownProtoErr(pe protoErr) bool {
 	switch pe {
 	case errEmptyCommand, errUnknownCmd, errBadArgs, errKeyTooLong,
-		errBadLength, errBadPayload, errBadBatchCount, errLineTooLong:
+		errBadLength, errBadPayload, errBadBatchCount, errLineTooLong,
+		errBadEmbedDim, errBadThreshold:
 		return true
 	}
 	return false

@@ -147,10 +147,9 @@ func TestProtocolErrors(t *testing.T) {
 		{"DEL\r\n", "bad arguments"},
 		{"STATS extra\r\n", "bad arguments"},
 		{"METRICS extra\r\n", "bad arguments"},
-		{"MGET\r\n", "bad arguments"},
 		{"MSET\r\n", "bad arguments"},
 		{"MSET nope\r\n", "bad batch count"},
-		{"MSET 0\r\n", "bad batch count"},
+		{"MSET -1\r\n", "bad batch count"},
 		{"MSET 99999999\r\n", "bad batch count"},
 		{"MSET 1\r\na b c\r\n", "bad arguments"},
 		{"SET k 3\r\nabcXY", "bad payload framing"},
@@ -168,6 +167,57 @@ func TestProtocolErrors(t *testing.T) {
 			t.Errorf("input %q: reply %q, want %q", tc.raw, reply, want)
 		}
 		conn.Close()
+	}
+}
+
+// TestZeroBatchVerbs: the degenerate batch sizes are legal, not protocol
+// errors — MGET with no keys answers a bare END and MSET 0 answers
+// STORED 0, in both cases leaving the connection open for the next
+// command (the exact-match replies below include a follow-up GET to
+// prove the session survived).
+func TestZeroBatchVerbs(t *testing.T) {
+	srv := startServer(t, 8)
+	cases := []struct {
+		raw  string
+		want string
+	}{
+		{"MGET\r\nQUIT\r\n", "END\r\n"},
+		{"MSET 0\r\nQUIT\r\n", "STORED 0\r\n"},
+		{"SET k 1\r\nv\r\nMGET\r\nGET k\r\nQUIT\r\n", "STORED\r\nEND\r\nVALUE 1\r\nv\r\n"},
+		{"MSET 0\r\nMGET\r\nMSET 0\r\nQUIT\r\n", "STORED 0\r\nEND\r\nSTORED 0\r\n"},
+	}
+	for _, tc := range cases {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprint(conn, tc.raw)
+		reply, _ := io.ReadAll(conn)
+		if string(reply) != tc.want {
+			t.Errorf("input %q: reply %q, want %q", tc.raw, reply, tc.want)
+		}
+		conn.Close()
+	}
+}
+
+// Client.MGet and Client.MSet short-circuit the zero-key case without
+// touching the wire, matching the server's semantics exactly.
+func TestClientZeroBatch(t *testing.T) {
+	srv := startServer(t, 8)
+	c := dial(t, srv)
+	vs, found, err := c.MGet()
+	if err != nil || vs != nil || found != nil {
+		t.Fatalf("MGet() = %v %v %v, want nil nil nil", vs, found, err)
+	}
+	if err := c.MSet(nil, nil); err != nil {
+		t.Fatalf("MSet(nil, nil) = %v", err)
+	}
+	// The connection must still be usable.
+	if err := c.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := c.Get("k"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get after zero batches: %q %v %v", v, ok, err)
 	}
 }
 

@@ -1,0 +1,307 @@
+package kvserver
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"testing"
+
+	"spidercache/internal/telemetry"
+)
+
+// embedPayload renders emb as the wire embedding frame (little-endian
+// float32s followed by CRLF).
+func embedPayload(emb []float32) []byte {
+	buf := make([]byte, 0, 4*len(emb)+2)
+	for _, x := range emb {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
+	}
+	return append(buf, '\r', '\n')
+}
+
+// unit returns v scaled to unit norm.
+func unit(v ...float32) []float32 {
+	var n float64
+	for _, x := range v {
+		n += float64(x) * float64(x)
+	}
+	n = math.Sqrt(n)
+	out := make([]float32, len(v))
+	for i, x := range v {
+		out[i] = float32(float64(x) / n)
+	}
+	return out
+}
+
+// readReply consumes exactly one protocol reply from r: a line, plus the
+// payload for VALUE/NEAR replies. It returns the raw bytes.
+func readReply(t *testing.T, r *bufio.Reader) []byte {
+	t.Helper()
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("read reply line: %v", err)
+	}
+	out := append([]byte(nil), line...)
+	fields := bytes.Fields(line)
+	var n int
+	switch {
+	case len(fields) == 2 && string(fields[0]) == "VALUE":
+		fmt.Sscanf(string(fields[1]), "%d", &n)
+	case len(fields) == 4 && string(fields[0]) == "NEAR":
+		fmt.Sscanf(string(fields[3]), "%d", &n)
+	default:
+		return out
+	}
+	payload := make([]byte, n+2)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		t.Fatalf("read reply payload: %v", err)
+	}
+	return append(out, payload...)
+}
+
+// TestNGetThresholdZeroMatchesGet: with threshold 0 an NGET must behave
+// as a GET with extra bytes on the request — byte-identical replies for
+// hits and misses alike, in both store modes.
+func TestNGetThresholdZeroMatchesGet(t *testing.T) {
+	for _, mode := range []string{StoreModeMutex, StoreModeArena} {
+		t.Run(mode, func(t *testing.T) {
+			srv, err := ServeWith("127.0.0.1:0", Options{Capacity: 64, Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			conn, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+
+			emb := embedPayload(unit(1, 0, 0, 0))
+			fmt.Fprint(conn, "SET k 5\r\nhello\r\n")
+			if got := readReply(t, r); string(got) != "STORED\r\n" {
+				t.Fatalf("SET reply %q", got)
+			}
+			conn.Write([]byte("ESET k 4\r\n"))
+			conn.Write(emb)
+			if got := readReply(t, r); string(got) != "STORED\r\n" {
+				t.Fatalf("ESET reply %q", got)
+			}
+
+			for _, key := range []string{"k", "missing"} {
+				fmt.Fprintf(conn, "GET %s\r\n", key)
+				getReply := readReply(t, r)
+				fmt.Fprintf(conn, "NGET %s 0 4\r\n", key)
+				conn.Write(emb)
+				ngetReply := readReply(t, r)
+				if !bytes.Equal(getReply, ngetReply) {
+					t.Fatalf("key %q: GET %q != NGET(threshold 0) %q", key, getReply, ngetReply)
+				}
+			}
+		})
+	}
+}
+
+// TestNGetNearServing covers the full semantic path through the Client:
+// exact hit, near hit (with the neighbor's value and distance), distance
+// cutoff, and DEL unlinking the embedding.
+func TestNGetNearServing(t *testing.T) {
+	srv := startServer(t, 64)
+	c := dial(t, srv)
+
+	vecA := unit(1, 0, 0, 0)
+	nearA := unit(1, 0.05, 0, 0) // cosine distance ≈ 0.00125
+	ortho := unit(0, 1, 0, 0)    // cosine distance ≈ 1
+
+	if err := c.Set("a", []byte("value-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ESet("a", vecA); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact hit: the key is resident, so the index is never consulted.
+	v, near, found, err := c.NGet("a", vecA, 0.5)
+	if err != nil || !found || near != nil || string(v) != "value-a" {
+		t.Fatalf("exact NGet = %q %v %v %v", v, near, found, err)
+	}
+
+	// Near hit: unknown key, nearby embedding.
+	v, near, found, err = c.NGet("b", nearA, 0.5)
+	if err != nil || !found || near == nil {
+		t.Fatalf("near NGet = %q %v %v %v", v, near, found, err)
+	}
+	if near.Key != "a" || string(v) != "value-a" {
+		t.Fatalf("near NGet served %q from %q, want value-a from a", v, near.Key)
+	}
+	if near.Dist <= 0 || near.Dist > 0.01 {
+		t.Fatalf("near dist %v, want (0, 0.01]", near.Dist)
+	}
+
+	// Distance cutoff: an orthogonal query finds no neighbor within 0.5.
+	if _, near, found, err = c.NGet("b", ortho, 0.5); err != nil || found || near != nil {
+		t.Fatalf("orthogonal NGet = %v %v %v, want miss", near, found, err)
+	}
+
+	// DEL unlinks the embedding: the same near query now misses.
+	if _, err := c.Del("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, near, found, err = c.NGet("b", nearA, 0.5); err != nil || found || near != nil {
+		t.Fatalf("NGet after DEL = %v %v %v, want miss", near, found, err)
+	}
+	if live, _ := srv.sem.size(); live != 0 {
+		t.Fatalf("semantic index live=%d after DEL, want 0", live)
+	}
+}
+
+// TestNGetEvictionUnlinks: when the store evicts a key, its embedding
+// must stop producing NEAR candidates.
+func TestNGetEvictionUnlinks(t *testing.T) {
+	srv := startServer(t, 1) // capacity 1: every SET evicts the previous key
+	c := dial(t, srv)
+
+	vecA := unit(1, 0)
+	if err := c.Set("a", []byte("va")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ESet("a", vecA); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("b", []byte("vb")); err != nil { // evicts a
+		t.Fatal(err)
+	}
+	if _, near, found, err := c.NGet("q", unit(1, 0.01), 0.5); err != nil || found || near != nil {
+		t.Fatalf("NGet after eviction = %v %v %v, want miss", near, found, err)
+	}
+	if live, _ := srv.sem.size(); live != 0 {
+		t.Fatalf("semantic index live=%d after eviction, want 0", live)
+	}
+}
+
+// TestNGetTelemetry: each NGET outcome increments exactly one result
+// bucket of kv_semantic_hits_total, and near hits feed kv_semantic_dist.
+func TestNGetTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv, err := ServeWith("127.0.0.1:0", Options{Capacity: 64, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	vecA := unit(1, 0)
+	if err := c.Set("a", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ESet("a", vecA); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.NGet("a", vecA, 0.5); err != nil { // exact
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.NGet("b", unit(1, 0.05), 0.5); err != nil { // near
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.NGet("b", unit(0, 1), 0.5); err != nil { // miss
+		t.Fatal(err)
+	}
+
+	counters := reg.Snapshot().Counters
+	for _, result := range []string{"exact", "near", "miss"} {
+		name := fmt.Sprintf("kv_semantic_hits_total{result=%q}", result)
+		if counters[name] != 1 {
+			t.Errorf("%s = %d, want 1", name, counters[name])
+		}
+	}
+}
+
+// TestNGetArenaPinnedAcrossChurn hammers an arena store with evicting,
+// compacting SET traffic while NGETs serve NEAR replies from it. The
+// reply write happens under the epoch pin taken before the neighbor
+// lookup, so every served payload must be intact — a torn read here
+// means a span was reclaimed or compacted away mid-reply. Run with
+// -race this also shakes out index/store interleavings.
+func TestNGetArenaPinnedAcrossChurn(t *testing.T) {
+	// Capacity below the churned key count (48) so SET traffic both
+	// evicts and, via overwrites, leaves dead bytes that trigger shard
+	// compaction under the readers.
+	srv, err := ServeWith("127.0.0.1:0", Options{Capacity: 32, Mode: StoreModeArena})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	payloadFor := func(i int) []byte {
+		b := make([]byte, 256)
+		for j := range b {
+			b[j] = byte('a' + (i+j)%26)
+		}
+		return b
+	}
+	vecFor := func(i int) []float32 {
+		return unit(1, float32(i%7)*0.01, float32(i%5)*0.01)
+	}
+
+	seedClient := dial(t, srv)
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("seed:%d", i)
+		if err := seedClient.Set(key, payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := seedClient.ESet(key, vecFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // churn: overwrites and evictions force compaction
+		defer wg.Done()
+		c := dial(t, srv)
+		for i := 0; i < 3000; i++ {
+			key := fmt.Sprintf("seed:%d", i%48)
+			if err := c.Set(key, payloadFor(i%48)); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%3 == 0 {
+				if err := c.ESet(key, vecFor(i%48)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	reader := dial(t, srv)
+	for i := 0; i < 1000; i++ {
+		v, near, found, err := reader.NGet("query", vecFor(i%32), 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			continue // everything resident may have churned away
+		}
+		if near == nil {
+			t.Fatal("exact hit for a never-stored key")
+		}
+		var id int
+		if _, err := fmt.Sscanf(near.Key, "seed:%d", &id); err != nil {
+			t.Fatalf("unexpected neighbor key %q", near.Key)
+		}
+		if !bytes.Equal(v, payloadFor(id)) {
+			t.Fatalf("torn NEAR payload for %q: got %q", near.Key, v[:16])
+		}
+	}
+	wg.Wait()
+}

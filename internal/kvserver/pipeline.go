@@ -9,15 +9,20 @@ const (
 	opGet opKind = iota
 	opSet
 	opDel
+	opNGet
+	opESet
 )
 
 // Result is the outcome of one pipelined operation, in queue order.
 type Result struct {
-	// Value is the fetched payload (Get hits only).
+	// Value is the fetched payload (Get and NGet hits only).
 	Value []byte
-	// Found reports a Get hit or a Del that removed a key; Set success is
-	// Err == nil.
+	// Found reports a Get/NGet hit or a Del that removed a key; Set and
+	// ESet success is Err == nil.
 	Found bool
+	// Near is set when an NGet was answered with a semantic substitute
+	// rather than an exact hit.
+	Near *Near
 	// Err is a per-op protocol failure. Transport errors abort the whole
 	// Exec instead.
 	Err error
@@ -94,6 +99,30 @@ func (p *Pipeline) Del(key string) {
 	p.ops = append(p.ops, opDel)
 }
 
+// NGet queues an NGET (see Client.NGet).
+func (p *Pipeline) NGet(key string, emb []float32, threshold float64) {
+	if p.werr != nil {
+		return
+	}
+	if err := p.c.writeNGetFrame(key, emb, threshold); err != nil {
+		p.werr = err
+		return
+	}
+	p.ops = append(p.ops, opNGet)
+}
+
+// ESet queues an ESET (see Client.ESet).
+func (p *Pipeline) ESet(key string, emb []float32) {
+	if p.werr != nil {
+		return
+	}
+	if err := p.c.writeESetFrame(key, emb); err != nil {
+		p.werr = err
+		return
+	}
+	p.ops = append(p.ops, opESet)
+}
+
 // Exec flushes every queued operation in one write and collects their
 // replies in order. A transport or framing error aborts with a nil slice
 // (the connection should be discarded); per-op protocol errors land in the
@@ -142,6 +171,23 @@ func (p *Pipeline) Exec() ([]Result, error) {
 				continue
 			}
 			results[i].Found = ok
+		case opNGet:
+			v, near, ok, err := p.c.readNGetReply()
+			if err != nil {
+				if isTransportErr(err) {
+					return nil, err
+				}
+				results[i].Err = err
+				continue
+			}
+			results[i].Value, results[i].Near, results[i].Found = v, near, ok
+		case opESet:
+			if err := p.c.readStoredReply("ESET"); err != nil {
+				if isTransportErr(err) {
+					return nil, err
+				}
+				results[i].Err = err
+			}
 		default:
 			return nil, fmt.Errorf("kvserver: unknown pipeline op %d", kind)
 		}

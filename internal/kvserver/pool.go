@@ -88,8 +88,8 @@ type poolTelemetry struct {
 func newPoolTelemetry(reg *telemetry.Registry, node string) poolTelemetry {
 	reg.Describe("kv_retries_total", "pool op retries by op and node")
 	reg.Describe("kv_breaker_state", "per-node circuit breaker state (0=closed 1=half-open 2=open)")
-	tel := poolTelemetry{retries: make(map[string]*telemetry.Counter, 5)}
-	for _, op := range []string{"get", "mget", "set", "mset", "del"} {
+	tel := poolTelemetry{retries: make(map[string]*telemetry.Counter, 7)}
+	for _, op := range []string{"get", "mget", "set", "mset", "del", "nget", "eset"} {
 		tel.retries[op] = reg.Counter("kv_retries_total", telemetry.Labels{"op": op, "node": node})
 	}
 	tel.breakerState = reg.Gauge("kv_breaker_state", telemetry.Labels{"node": node})
@@ -418,6 +418,24 @@ func (p *Pool) MGet(keys ...string) (values [][]byte, found []bool, err error) {
 // MSet is Client.MSet over a pooled connection (retried only pre-write).
 func (p *Pool) MSet(keys []string, values [][]byte) error {
 	return p.doMutate("mset", func(c *Client) error { return c.MSet(keys, values) })
+}
+
+// NGet is Client.NGet over a pooled connection (retried; idempotent —
+// NGET never mutates, it only reads through the semantic index).
+func (p *Pool) NGet(key string, emb []float32, threshold float64) (value []byte, near *Near, found bool, err error) {
+	err = p.doIdempotent("nget", func(c *Client) error {
+		var e error
+		value, near, found, e = c.NGet(key, emb, threshold)
+		return e
+	})
+	return value, near, found, err
+}
+
+// ESet is Client.ESet over a pooled connection (retried only pre-write,
+// like every mutation — although re-indexing the same embedding is
+// harmless, the uniform rule keeps the retry ledger honest).
+func (p *Pool) ESet(key string, emb []float32) error {
+	return p.doMutate("eset", func(c *Client) error { return c.ESet(key, emb) })
 }
 
 // Close closes every pooled connection and wakes blocked Acquires, which

@@ -12,20 +12,32 @@
 //
 // Lines end in \r\n; payloads are raw bytes:
 //
-//	SET <key> <nbytes>\r\n<payload>\r\n    -> STORED | SERVER_ERROR <msg>
 //	GET <key>\r\n                          -> VALUE <nbytes>\r\n<payload>\r\n | NOT_FOUND
+//	SET <key> <nbytes>\r\n<payload>\r\n    -> STORED | SERVER_ERROR <msg>
 //	DEL <key>\r\n                          -> DELETED | NOT_FOUND
-//	MGET <key> [<key>...]\r\n              -> per key, in request order:
+//	MGET [<key>...]\r\n                    -> per key, in request order:
 //	                                            VALUE <nbytes>\r\n<payload>\r\n | NOT_FOUND\r\n
-//	                                          then END\r\n
+//	                                          then END\r\n (zero keys: bare END\r\n)
 //	MSET <count>\r\n                       -> STORED <count>\r\n
 //	  followed by <count> frames, each:
 //	    <key> <nbytes>\r\n<payload>\r\n
+//	  (count 0 is legal: no frames follow, the reply is STORED 0)
+//	NGET <key> <threshold> <dim>\r\n<embedding>\r\n
+//	                                       -> VALUE <nbytes>\r\n<payload>\r\n   (exact hit)
+//	                                        | NEAR <key> <dist> <nbytes>\r\n<payload>\r\n
+//	                                        | NOT_FOUND
+//	ESET <key> <dim>\r\n<embedding>\r\n    -> STORED
 //	STATS\r\n                              -> STATS <items> <hits> <misses>\r\n
 //	METRICS\r\n                            -> METRICS <nbytes>\r\n<payload>\r\n
 //	QUIT\r\n                               -> connection closed
 //
 // MGET/MSET batches are capped at MaxBatchOps keys/frames per command.
+//
+// NGET/ESET embeddings are <dim> little-endian IEEE-754 float32s
+// (1 <= dim <= MaxEmbedDim), unit-normalized by the server; NGET's
+// <threshold> is a decimal cosine-distance bound in [0, 2] and its NEAR
+// fallback serves the nearest still-resident neighbor inside it — see
+// nget.go for the full semantics (threshold 0 is byte-identical to GET).
 //
 // Cluster verbs (see clusterverbs.go; standalone servers answer them too):
 //
@@ -110,11 +122,14 @@ const (
 	errBadPayload    = protoErr("bad payload framing")
 	errBadBatchCount = protoErr("bad batch count")
 	errLineTooLong   = protoErr("line too long")
+	errBadEmbedDim   = protoErr("bad embedding dim")
+	errBadThreshold  = protoErr("bad threshold")
 )
 
 // Server is the TCP cache server.
 type Server struct {
 	store    store
+	sem      *semIndex // node-local semantic index behind NGET/ESET
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   atomic.Bool
@@ -130,19 +145,21 @@ type Server struct {
 
 // serverTelemetry groups the per-op instruments, resolved once at startup.
 type serverTelemetry struct {
-	getHit, getMiss        *telemetry.Counter
-	mgetHit, mgetMiss      *telemetry.Counter
-	setOps, msetOps        *telemetry.Counter
-	rsetOps                *telemetry.Counter
-	delHit, delMiss        *telemetry.Counter
-	rdelHit, rdelMiss      *telemetry.Counter
-	getLat, setLat, delLat *telemetry.Histogram
-	mgetLat, msetLat       *telemetry.Histogram
-	rsetLat                *telemetry.Histogram
-	items, hits, misses    *telemetry.Gauge
-	shardItems             []*telemetry.Gauge // one gauge per store shard
-	flushes                *telemetry.Counter // network flushes (coalesced writes)
-	pipelineDepth          *telemetry.Histogram
+	getHit, getMiss            *telemetry.Counter
+	mgetHit, mgetMiss          *telemetry.Counter
+	setOps, msetOps            *telemetry.Counter
+	rsetOps, esetOps           *telemetry.Counter
+	delHit, delMiss            *telemetry.Counter
+	rdelHit, rdelMiss          *telemetry.Counter
+	semExact, semNear, semMiss *telemetry.Counter   // NGET outcomes
+	semDist                    *telemetry.Histogram // cosine distance of served NEAR substitutes
+	getLat, setLat, delLat     *telemetry.Histogram
+	mgetLat, msetLat           *telemetry.Histogram
+	rsetLat, ngetLat, esetLat  *telemetry.Histogram
+	items, hits, misses        *telemetry.Gauge
+	shardItems                 []*telemetry.Gauge // one gauge per store shard
+	flushes                    *telemetry.Counter // network flushes (coalesced writes)
+	pipelineDepth              *telemetry.Histogram
 }
 
 func newServerTelemetry(reg *telemetry.Registry, shards int) serverTelemetry {
@@ -152,6 +169,8 @@ func newServerTelemetry(reg *telemetry.Registry, shards int) serverTelemetry {
 	reg.Describe("kv_shard_items", "resident items per store shard")
 	reg.Describe("kv_net_flushes_total", "network flushes; each may carry many pipelined replies")
 	reg.Describe("kv_pipeline_depth", "requests served per network flush")
+	reg.Describe("kv_semantic_hits_total", "NGET outcomes: exact hit, near (semantic substitute served), miss")
+	reg.Describe("kv_semantic_dist", "cosine distance of served NEAR substitutes")
 	tel := serverTelemetry{
 		getHit:        reg.Counter("kv_ops_total", telemetry.Labels{"op": "get", "result": "hit"}),
 		getMiss:       reg.Counter("kv_ops_total", telemetry.Labels{"op": "get", "result": "miss"}),
@@ -160,6 +179,11 @@ func newServerTelemetry(reg *telemetry.Registry, shards int) serverTelemetry {
 		setOps:        reg.Counter("kv_ops_total", telemetry.Labels{"op": "set", "result": "stored"}),
 		msetOps:       reg.Counter("kv_ops_total", telemetry.Labels{"op": "mset", "result": "stored"}),
 		rsetOps:       reg.Counter("kv_ops_total", telemetry.Labels{"op": "rset", "result": "stored"}),
+		esetOps:       reg.Counter("kv_ops_total", telemetry.Labels{"op": "eset", "result": "stored"}),
+		semExact:      reg.Counter("kv_semantic_hits_total", telemetry.Labels{"result": "exact"}),
+		semNear:       reg.Counter("kv_semantic_hits_total", telemetry.Labels{"result": "near"}),
+		semMiss:       reg.Counter("kv_semantic_hits_total", telemetry.Labels{"result": "miss"}),
+		semDist:       reg.Histogram("kv_semantic_dist", nil),
 		delHit:        reg.Counter("kv_ops_total", telemetry.Labels{"op": "del", "result": "deleted"}),
 		delMiss:       reg.Counter("kv_ops_total", telemetry.Labels{"op": "del", "result": "miss"}),
 		rdelHit:       reg.Counter("kv_ops_total", telemetry.Labels{"op": "rdel", "result": "deleted"}),
@@ -170,6 +194,8 @@ func newServerTelemetry(reg *telemetry.Registry, shards int) serverTelemetry {
 		mgetLat:       reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "mget"}),
 		msetLat:       reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "mset"}),
 		rsetLat:       reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "rset"}),
+		ngetLat:       reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "nget"}),
+		esetLat:       reg.Histogram("kv_op_seconds", telemetry.Labels{"op": "eset"}),
 		items:         reg.Gauge("kv_items", nil),
 		hits:          reg.Gauge("kv_hits", nil),
 		misses:        reg.Gauge("kv_misses", nil),
@@ -256,17 +282,32 @@ func ServeOn(ln net.Listener, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := &Server{
-		store:    st,
-		listener: ln,
-		conns:    make(map[net.Conn]struct{}),
-		cluster:  opts.Cluster,
-		reg:      reg,
-		tel:      newServerTelemetry(reg, st.numShards()),
-	}
+	srv := newServerCore(st, reg)
+	srv.listener = ln
+	srv.cluster = opts.Cluster
 	srv.wg.Add(1)
 	go srv.acceptLoop()
 	return srv, nil
+}
+
+// newServerCore assembles the serving state over an already-built store
+// — everything but the listener plumbing, shared by ServeOn and the
+// in-process tests/fuzzers that drive serveOne directly. It wires the
+// store's eviction notifications into the semantic index: an evicted
+// key's embedding must stop producing NEAR candidates (the residency
+// check would drop them anyway, but they would crowd the top-k). The
+// hook is invoked after the shard mutex is released (see store.go), so
+// the sem.mu acquisition here never nests inside a shard lock.
+func newServerCore(st store, reg *telemetry.Registry) *Server {
+	srv := &Server{
+		store: st,
+		sem:   newSemIndex(),
+		conns: make(map[net.Conn]struct{}),
+		reg:   reg,
+		tel:   newServerTelemetry(reg, st.numShards()),
+	}
+	st.setEvictHook(srv.sem.unlink)
+	return srv
 }
 
 // Metrics returns the server's telemetry registry (never nil).
@@ -357,9 +398,11 @@ var (
 type session struct {
 	r      *bufio.Reader
 	w      *bufio.Writer
-	fields [][]byte // field-split scratch, aliases the reader's buffer
-	long   []byte   // spill buffer for lines longer than the reader buffer
-	num    []byte   // integer formatting scratch
+	fields [][]byte  // field-split scratch, aliases the reader's buffer
+	long   []byte    // spill buffer for lines longer than the reader buffer
+	num    []byte    // integer formatting scratch
+	emb    []byte    // embedding payload scratch (NGET/ESET)
+	vec    []float64 // decoded embedding scratch (NGET/ESET)
 }
 
 func newSession(r *bufio.Reader, w *bufio.Writer) *session {
@@ -445,6 +488,10 @@ func (s *Server) serveOne(sess *session) error {
 		return s.doMSet(sess, args)
 	case cmdEq(cmd, "DEL"):
 		return s.doDel(sess, args)
+	case cmdEq(cmd, "NGET"):
+		return s.doNGet(sess, args)
+	case cmdEq(cmd, "ESET"):
+		return s.doESet(sess, args)
 	case cmdEq(cmd, "RSET"):
 		return s.doRSet(sess, args)
 	case cmdEq(cmd, "RDEL"):
@@ -487,11 +534,15 @@ func (s *Server) doGet(sess *session, args [][]byte) error {
 }
 
 func (s *Server) doMGet(sess *session, args [][]byte) error {
-	if len(args) == 0 {
-		return errBadArgs
-	}
 	if len(args) > MaxBatchOps {
 		return errBadBatchCount
+	}
+	if len(args) == 0 {
+		// An empty batch is a legal (if pointless) request — e.g. a client
+		// whose key filter left nothing — and answers with a bare END, the
+		// exact frame a batch of N misses would end with.
+		_, err := sess.w.WriteString("END\r\n")
+		return err
 	}
 	start := time.Now()
 	var hits, misses int64
@@ -561,9 +612,11 @@ func (s *Server) doMSet(sess *session, args [][]byte) error {
 		return errBadArgs
 	}
 	count, err := parseLength(args[0])
-	if err != nil || count < 1 || count > MaxBatchOps {
+	if err != nil || count > MaxBatchOps {
 		return errBadBatchCount
 	}
+	// count 0 falls through: zero frames to read, reply STORED 0 — the
+	// degenerate batch is legal, mirroring MGET's zero-key bare END.
 	start := time.Now()
 	var rkeys []string
 	var rvalues [][]byte
@@ -609,6 +662,11 @@ func (s *Server) doDel(sess *session, args [][]byte) error {
 	start := time.Now()
 	key := string(args[0])
 	deleted := s.store.del(key)
+	// The embedding goes with the value unconditionally: ESET-then-DEL
+	// must clear the index even when the value itself was never stored
+	// (or already evicted), or the dead key would keep winning NEAR
+	// candidacies it can no longer serve.
+	s.sem.unlink(key)
 	// Deletes fan out even on a local miss: a replica may hold the value
 	// this node already evicted, and a DEL must not resurrect it.
 	if s.cluster != nil {
@@ -630,7 +688,9 @@ func (s *Server) doRDel(sess *session, args [][]byte) error {
 	if len(args) != 1 {
 		return errBadArgs
 	}
-	if s.store.del(string(args[0])) {
+	key := string(args[0])
+	defer s.sem.unlink(key) // see doDel
+	if s.store.del(key) {
 		s.tel.rdelHit.Inc()
 		_, err := sess.w.WriteString("DELETED\r\n")
 		return err

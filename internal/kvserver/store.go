@@ -77,6 +77,12 @@ type store interface {
 	keys() []string
 	set(key string, value []byte)
 	del(key string) bool
+	// setEvictHook registers fn to be called with each key the store
+	// evicts to make room (NOT keys removed by del — the caller already
+	// knows those). Must be set before the store serves traffic; fn is
+	// invoked after the owning shard's mutex is released, so it may take
+	// locks of its own without ordering against shard locks.
+	setEvictHook(fn func(key string))
 	stats() (items int, hits, misses int64)
 	shardStats(i int) (items int, hits, misses int64, capacity int)
 	numShards() int
@@ -126,10 +132,11 @@ func newStoreFor(opts Options, reg *telemetry.Registry) (store, error) {
 
 // mutexStore routes keys across mutex-LRU shards.
 type mutexStore struct {
-	shards []*shard
-	stats_ []shardStat // contiguous padded per-shard counters
-	mask   uint32
-	adm    *admission // nil: admit everything
+	shards  []*shard
+	stats_  []shardStat // contiguous padded per-shard counters
+	mask    uint32
+	adm     *admission   // nil: admit everything
+	onEvict func(string) // eviction notification; set before serving, nil ok
 }
 
 // shard is one independent LRU partition.
@@ -312,16 +319,20 @@ func (s *mutexStore) keys() []string {
 	return out
 }
 
+func (s *mutexStore) setEvictHook(fn func(string)) { s.onEvict = fn }
+
 func (s *mutexStore) set(key string, value []byte) {
 	if s.adm != nil {
 		s.adm.touch(fnv1a64String(key))
 	}
 	_, sh := s.shardFor(key)
+	var evicted string
+	hasEvicted := false
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if n, ok := sh.entries[key]; ok {
 		n.value = value
 		sh.moveToFront(n)
+		sh.mu.Unlock()
 		return
 	}
 	if len(sh.entries) >= sh.capacity && sh.tail != nil {
@@ -330,15 +341,23 @@ func (s *mutexStore) set(key string, value []byte) {
 		// above still recorded the access, so a key that keeps arriving
 		// eventually earns its slot).
 		if s.adm != nil && !s.adm.admit(fnv1a64String(key), fnv1a64String(sh.tail.key)) {
+			sh.mu.Unlock()
 			return
 		}
 		victim := sh.tail
 		sh.unlink(victim)
 		delete(sh.entries, victim.key)
+		evicted, hasEvicted = victim.key, true
 	}
 	n := &kvNode{key: key, value: value}
 	sh.entries[key] = n
 	sh.pushFront(n)
+	sh.mu.Unlock()
+	// The hook runs outside the shard lock so it can take its own locks
+	// without entering the shard-lock ordering (see the store interface).
+	if hasEvicted && s.onEvict != nil {
+		s.onEvict(evicted)
+	}
 }
 
 func (s *mutexStore) del(key string) bool {

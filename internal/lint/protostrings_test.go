@@ -49,8 +49,10 @@ type protoErr string
 func (e protoErr) Error() string { return string(e) }
 
 const (
-	errEmpty   = protoErr("empty command")
-	errTooLong = protoErr("line too long")
+	errEmpty     = protoErr("empty command")
+	errTooLong   = protoErr("line too long")
+	errEmbedDim  = protoErr("bad embedding dim")
+	errThreshold = protoErr("bad threshold")
 )
 
 // The exact reply prefix is the one permitted SERVER_ERROR literal, and

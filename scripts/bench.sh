@@ -60,6 +60,28 @@ echo "wrote BENCH_7.json (mutex+LRU vs arena+TinyLFU A/B)"
 # SearchKNN calls per epoch, and the snapshot hit rate as BENCH_8.json.
 go run ./cmd/spiderbench -snapshot-ab BENCH_8.json
 
+# Semantic-serving A/B: the same capacity-constrained clustered key space
+# driven once with exact GETs and once with every read issued as NGET
+# against the node-local HNSW index. The exact run's misses are the
+# ceiling semantic serving can recover from; the NGET run's summary
+# carries the exact/near/miss split and the mean served distance.
+# Persists both summaries as BENCH_10.json.
+nget_exact="$(mktemp)"
+nget_sem="$(mktemp)"
+trap 'rm -f "$ab_mutex" "$ab_arena" "$nget_exact" "$nget_sem"' EXIT
+go run ./cmd/spiderload -ops "$AB_OPS" -conns 2 -capacity 4096 -keys 16384 -zipf 0.99 \
+    -json "$nget_exact"
+go run ./cmd/spiderload -ops "$AB_OPS" -conns 2 -capacity 4096 -keys 16384 -zipf 0.99 \
+    -nget-mix 1 -nget-threshold 0.3 -embed-dim 16 -embed-clusters 64 -json "$nget_sem"
+{
+    printf '{\n"exact_get": '
+    cat "$nget_exact"
+    printf ',\n"nget_semantic": '
+    cat "$nget_sem"
+    printf '}\n'
+} > BENCH_10.json
+echo "wrote BENCH_10.json (exact GET vs semantic NGET A/B)"
+
 # Cluster resilience smoke (opt-in: boots real daemon processes and kills
 # one mid-run, so it is slower and port-hungry). Persists BENCH_6.json.
 #
